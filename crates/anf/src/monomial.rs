@@ -1,0 +1,329 @@
+//! Product terms (monomials) of the Boolean ring.
+//!
+//! In the Boolean ring GF(2)[x₀,x₁,…]/(xᵢ² = xᵢ) a monomial is simply a
+//! finite *set* of variables (idempotence collapses exponents), with the
+//! empty set denoting the constant 1. [`Monomial`] stores the common case —
+//! all variable indices below 128 — as a single `u128` bitmask so that the
+//! multi-million-term expressions arising from wide comparators and adders
+//! stay compact; larger indices fall back to a sorted boxed slice.
+
+use crate::var::Var;
+use crate::varset::{VarSet, SMALL_VARS};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A product of distinct variables; the empty product is the constant `1`.
+///
+/// Monomials are totally ordered (an arbitrary but fixed order used to keep
+/// expressions canonical) and cheap to hash.
+///
+/// # Examples
+///
+/// ```
+/// use pd_anf::{Monomial, Var};
+/// let ab = Monomial::from_vars([Var(0), Var(1)]);
+/// let bc = Monomial::from_vars([Var(1), Var(2)]);
+/// // Idempotent multiplication: (ab)(bc) = abc
+/// assert_eq!(ab.mul(&bc), Monomial::from_vars([Var(0), Var(1), Var(2)]));
+/// assert_eq!(Monomial::one().degree(), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Monomial {
+    /// All variable indices `< 128`, stored as a bitmask (bit *i* ⇔ `Var(i)`).
+    Small(u128),
+    /// At least one variable index `>= 128`; sorted, deduplicated indices.
+    Large(Box<[u32]>),
+}
+
+use Monomial::{Large, Small};
+
+impl Monomial {
+    /// The constant monomial `1` (empty product).
+    #[inline]
+    pub fn one() -> Self {
+        Small(0)
+    }
+
+    /// The monomial consisting of a single variable.
+    #[inline]
+    pub fn var(v: Var) -> Self {
+        if v.0 < SMALL_VARS {
+            Small(1u128 << v.0)
+        } else {
+            Large(vec![v.0].into_boxed_slice())
+        }
+    }
+
+    /// Builds a monomial from an iterator of variables (duplicates collapse).
+    pub fn from_vars<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        let mut mask = 0u128;
+        let mut spill: Vec<u32> = Vec::new();
+        for v in vars {
+            if v.0 < SMALL_VARS {
+                mask |= 1u128 << v.0;
+            } else {
+                spill.push(v.0);
+            }
+        }
+        if spill.is_empty() {
+            Small(mask)
+        } else {
+            spill.sort_unstable();
+            spill.dedup();
+            Self::from_parts(mask, spill)
+        }
+    }
+
+    fn from_parts(mask: u128, spill: Vec<u32>) -> Self {
+        if spill.is_empty() {
+            return Small(mask);
+        }
+        let mut all: Vec<u32> = BitIter(mask).collect();
+        all.extend_from_slice(&spill);
+        Large(all.into_boxed_slice())
+    }
+
+    /// Returns `true` for the constant monomial `1`.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        matches!(self, Small(0))
+    }
+
+    /// Number of variables in the product.
+    pub fn degree(&self) -> usize {
+        match self {
+            Small(m) => m.count_ones() as usize,
+            Large(v) => v.len(),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: Var) -> bool {
+        match self {
+            Small(m) => v.0 < SMALL_VARS && m & (1u128 << v.0) != 0,
+            Large(vars) => vars.binary_search(&v.0).is_ok(),
+        }
+    }
+
+    /// Iterates over the variables in ascending index order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        let (mask, slice): (u128, &[u32]) = match self {
+            Small(m) => (*m, &[]),
+            Large(v) => (0, v),
+        };
+        BitIter(mask).map(Var).chain(slice.iter().map(|&i| Var(i)))
+    }
+
+    /// Idempotent product: the union of the two variable sets.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        match (self, other) {
+            (Small(a), Small(b)) => Small(a | b),
+            _ => {
+                let mut all: Vec<u32> = self.vars().map(|v| v.0).collect();
+                all.extend(other.vars().map(|v| v.0));
+                all.sort_unstable();
+                all.dedup();
+                if all.last().is_some_and(|&m| m >= SMALL_VARS) {
+                    Large(all.into_boxed_slice())
+                } else {
+                    Small(all.iter().fold(0u128, |m, &i| m | (1u128 << i)))
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if every variable of `self` occurs in `other`.
+    pub fn divides(&self, other: &Monomial) -> bool {
+        match (self, other) {
+            (Small(a), Small(b)) => a & !b == 0,
+            _ => self.vars().all(|v| other.contains(v)),
+        }
+    }
+
+    /// Returns `true` if the monomial contains at least one variable of
+    /// `group`.
+    pub fn intersects(&self, group: &VarSet) -> bool {
+        match self {
+            // A Small monomial has no variable >= 128, so only the group's
+            // bitmask part can intersect it.
+            Small(m) => m & group.small_mask() != 0,
+            Large(vars) => vars.iter().any(|&i| group.contains(Var(i))),
+        }
+    }
+
+    /// Splits the monomial into `(inner, outer)` where `inner` keeps exactly
+    /// the variables in `group` and `outer` the rest.
+    ///
+    /// This is the *pair* construction of paper §5.2.
+    pub fn split(&self, group: &VarSet) -> (Monomial, Monomial) {
+        match self {
+            Small(m) => (
+                Small(m & group.small_mask()),
+                Small(m & !group.small_mask()),
+            ),
+            Large(vars) => {
+                let mut inner = Vec::new();
+                let mut outer = Vec::new();
+                for &i in vars.iter() {
+                    if group.contains(Var(i)) {
+                        inner.push(i);
+                    } else {
+                        outer.push(i);
+                    }
+                }
+                (Self::from_sorted(inner), Self::from_sorted(outer))
+            }
+        }
+    }
+
+    fn from_sorted(vars: Vec<u32>) -> Monomial {
+        if vars.last().is_some_and(|&m| m >= SMALL_VARS) {
+            Large(vars.into_boxed_slice())
+        } else {
+            Small(vars.iter().fold(0u128, |m, &i| m | (1u128 << i)))
+        }
+    }
+
+    /// Removes `v` from the monomial, if present.
+    pub fn without(&self, v: Var) -> Monomial {
+        match self {
+            Small(m) if v.0 < SMALL_VARS => Small(m & !(1u128 << v.0)),
+            Small(m) => Small(*m),
+            Large(vars) => Self::from_sorted(vars.iter().copied().filter(|&i| i != v.0).collect()),
+        }
+    }
+
+    /// Applies a variable renaming.
+    pub fn map_vars(&self, f: impl Fn(Var) -> Var) -> Monomial {
+        Monomial::from_vars(self.vars().map(f))
+    }
+
+    /// The set of variables of this monomial.
+    pub fn var_set(&self) -> VarSet {
+        self.vars().collect()
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Small(a), Small(b)) => a.cmp(b),
+            (Small(_), Large(_)) => Ordering::Less,
+            (Large(_), Small(_)) => Ordering::Greater,
+            (Large(a), Large(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let names: Vec<String> = self.vars().map(|v| format!("v{}", v.0)).collect();
+        write!(f, "{}", names.join("*"))
+    }
+}
+
+struct BitIter(u128);
+
+impl Iterator for BitIter {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(tz)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mono(ids: &[u32]) -> Monomial {
+        Monomial::from_vars(ids.iter().map(|&i| Var(i)))
+    }
+
+    #[test]
+    fn one_is_empty_product() {
+        assert!(Monomial::one().is_one());
+        assert_eq!(Monomial::one().degree(), 0);
+        assert_eq!(mono(&[]), Monomial::one());
+    }
+
+    #[test]
+    fn idempotent_multiplication() {
+        let ab = mono(&[0, 1]);
+        assert_eq!(ab.mul(&ab), ab);
+        assert_eq!(ab.mul(&Monomial::one()), ab);
+        assert_eq!(mono(&[0]).mul(&mono(&[200])), mono(&[0, 200]));
+    }
+
+    #[test]
+    fn split_by_group() {
+        let g: VarSet = [Var(0), Var(2)].into_iter().collect();
+        let (inner, outer) = mono(&[0, 1, 2, 3]).split(&g);
+        assert_eq!(inner, mono(&[0, 2]));
+        assert_eq!(outer, mono(&[1, 3]));
+        let (inner, outer) = mono(&[1, 3]).split(&g);
+        assert!(inner.is_one());
+        assert_eq!(outer, mono(&[1, 3]));
+    }
+
+    #[test]
+    fn split_with_large_vars() {
+        let g: VarSet = [Var(130)].into_iter().collect();
+        let (inner, outer) = mono(&[1, 130, 200]).split(&g);
+        assert_eq!(inner, mono(&[130]));
+        assert_eq!(outer, mono(&[1, 200]));
+    }
+
+    #[test]
+    fn divides_and_contains() {
+        assert!(mono(&[0]).divides(&mono(&[0, 1])));
+        assert!(!mono(&[2]).divides(&mono(&[0, 1])));
+        assert!(Monomial::one().divides(&mono(&[5])));
+        assert!(mono(&[0, 140]).contains(Var(140)));
+        assert!(!mono(&[0, 140]).contains(Var(141)));
+    }
+
+    #[test]
+    fn large_and_small_orders_are_consistent_with_eq() {
+        let a = mono(&[0, 1]);
+        let b = mono(&[0, 1]);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        let c = mono(&[0, 128]);
+        assert_ne!(a.cmp(&c), Ordering::Equal);
+        assert!(a < c, "small sorts before large");
+    }
+
+    #[test]
+    fn without_removes() {
+        assert_eq!(mono(&[0, 1]).without(Var(1)), mono(&[0]));
+        assert_eq!(mono(&[0, 130]).without(Var(130)), mono(&[0]));
+        assert_eq!(mono(&[0]).without(Var(7)), mono(&[0]));
+    }
+
+    #[test]
+    fn map_vars_renames() {
+        let m = mono(&[0, 1]).map_vars(|v| Var(v.0 + 10));
+        assert_eq!(m, mono(&[10, 11]));
+    }
+
+    #[test]
+    fn var_round_trip_large() {
+        let m = Monomial::var(Var(300));
+        assert_eq!(m.degree(), 1);
+        assert!(m.contains(Var(300)));
+    }
+}

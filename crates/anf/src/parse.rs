@@ -1,0 +1,212 @@
+//! A small text format for Boolean-ring expressions.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr   := term ('^' term)*
+//! term   := factor ('*' factor)*
+//! factor := '0' | '1' | ident | '(' expr ')'
+//! ident  := [A-Za-z_][A-Za-z0-9_]*
+//! ```
+//!
+//! Unknown identifiers are allocated in the pool as word-0 inputs, which
+//! makes the format convenient for tests and examples.
+
+use crate::expr::Anf;
+use crate::var::VarPool;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing an expression fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAnfError {
+    msg: String,
+    at: usize,
+}
+
+impl ParseAnfError {
+    fn new(msg: impl Into<String>, at: usize) -> Self {
+        Self {
+            msg: msg.into(),
+            at,
+        }
+    }
+}
+
+impl fmt::Display for ParseAnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl Error for ParseAnfError {}
+
+struct Parser<'a, 'p> {
+    src: &'a [u8],
+    pos: usize,
+    pool: &'p mut VarPool,
+}
+
+impl<'a, 'p> Parser<'a, 'p> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn expr(&mut self) -> Result<Anf, ParseAnfError> {
+        let mut acc = self.term()?;
+        while self.peek() == Some(b'^') {
+            self.pos += 1;
+            acc = acc.xor(&self.term()?);
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<Anf, ParseAnfError> {
+        let mut acc = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    acc = acc.and(&self.factor()?);
+                }
+                // Juxtaposition (`a b`) is not multiplication; stop on
+                // anything that cannot continue a term.
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Anf, ParseAnfError> {
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                Ok(Anf::zero())
+            }
+            Some(b'1') => {
+                self.pos += 1;
+                Ok(Anf::one())
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                if self.peek() != Some(b')') {
+                    return Err(ParseAnfError::new("expected ')'", self.pos));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self
+                    .src
+                    .get(self.pos)
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| ParseAnfError::new("invalid identifier", start))?;
+                Ok(Anf::var(self.pool.var_or_input(name)))
+            }
+            Some(c) => Err(ParseAnfError::new(
+                format!("unexpected character {:?}", c as char),
+                self.pos,
+            )),
+            None => Err(ParseAnfError::new("unexpected end of input", self.pos)),
+        }
+    }
+}
+
+impl Anf {
+    /// Parses an expression, allocating unknown identifiers in `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseAnfError`] when the input is not a well-formed
+    /// expression.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pd_anf::{Anf, VarPool};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut pool = VarPool::new();
+    /// let x = Anf::parse("(a ^ b) * (p ^ c*d)", &mut pool)?;
+    /// assert_eq!(x.term_count(), 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(src: &str, pool: &mut VarPool) -> Result<Anf, ParseAnfError> {
+        let mut p = Parser {
+            src: src.as_bytes(),
+            pos: 0,
+            pool,
+        };
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(ParseAnfError::new("trailing input", p.pos));
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_forms() {
+        let mut pool = VarPool::new();
+        assert!(Anf::parse("0", &mut pool).unwrap().is_zero());
+        assert!(Anf::parse("1", &mut pool).unwrap().is_one());
+        assert!(Anf::parse("1 ^ 1", &mut pool).unwrap().is_zero());
+        let x = Anf::parse("a*b ^ c", &mut pool).unwrap();
+        assert_eq!(x.term_count(), 2);
+        assert_eq!(x.literal_count(), 3);
+    }
+
+    #[test]
+    fn parentheses_distribute() {
+        let mut pool = VarPool::new();
+        let x = Anf::parse("(a ^ b)*(a ^ b)", &mut pool).unwrap();
+        let y = Anf::parse("a ^ b", &mut pool).unwrap();
+        assert_eq!(x, y, "idempotence of the ring");
+        let z = Anf::parse("(a^b)*(p ^ c*d)", &mut pool).unwrap();
+        assert_eq!(z.term_count(), 4);
+    }
+
+    #[test]
+    fn paper_section4_factorisation_example() {
+        // X = (a⊕b)(p⊕cd) ⊕ (c⊕d)(p⊕ab) = (a⊕b⊕c⊕d)(p⊕ab⊕cd)
+        let mut pool = VarPool::new();
+        let x = Anf::parse("(a^b)*(p^c*d) ^ (c^d)*(p^a*b)", &mut pool).unwrap();
+        let y = Anf::parse("(a^b^c^d)*(p^a*b^c*d)", &mut pool).unwrap();
+        assert_eq!(x, y, "null-space factorisation identity from paper §4");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let mut pool = VarPool::new();
+        assert!(Anf::parse("", &mut pool).is_err());
+        assert!(Anf::parse("a ^", &mut pool).is_err());
+        assert!(Anf::parse("(a", &mut pool).is_err());
+        assert!(Anf::parse("a b", &mut pool).is_err());
+        assert!(Anf::parse("a + b", &mut pool).is_err());
+    }
+
+    #[test]
+    fn same_name_same_var() {
+        let mut pool = VarPool::new();
+        let x = Anf::parse("a ^ a", &mut pool).unwrap();
+        assert!(x.is_zero());
+        assert_eq!(pool.len(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Bit-packed truth tables over an explicit variable ordering.
+//!
+//! Truth tables are the workhorse of identity discovery (paper §5.5): basis
+//! expressions live over at most `k` group variables, so their behaviour is
+//! enumerated exhaustively over `2^k` assignments (optionally *restricted*
+//! to assignments satisfying previously discovered identities) and relations
+//! between them are found by GF(2) elimination on the resulting bit vectors.
+
+use crate::expr::Anf;
+use crate::monomial::Monomial;
+use crate::var::Var;
+
+/// A truth table of a function over `n` ordered variables.
+///
+/// Assignment index `i` assigns variable `vars[j]` the bit `i >> j & 1`
+/// (variable 0 toggles fastest).
+///
+/// # Examples
+///
+/// ```
+/// use pd_anf::{Anf, TruthTable, VarPool};
+/// let mut pool = VarPool::new();
+/// let x = Anf::parse("a ^ b", &mut pool).unwrap();
+/// let vars = [pool.find("a").unwrap(), pool.find("b").unwrap()];
+/// let tt = TruthTable::from_anf(&x, &vars);
+/// assert_eq!(tt.get(0), false); // a=0,b=0
+/// assert_eq!(tt.get(1), true);  // a=1,b=0
+/// assert_eq!(tt.to_anf(&vars), x);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TruthTable {
+    n_vars: usize,
+    /// `ceil(2^n / 64)` words; assignment `i` is bit `i % 64` of word `i/64`.
+    bits: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Number of 64-bit words needed for `n` variables.
+    fn words(n_vars: usize) -> usize {
+        if n_vars >= 6 {
+            1 << (n_vars - 6)
+        } else {
+            1
+        }
+    }
+
+    /// Mask selecting the valid bits of the last word.
+    fn tail_mask(n_vars: usize) -> u64 {
+        if n_vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1 << n_vars)) - 1
+        }
+    }
+
+    /// The constant-false table over `n_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vars > 24` (tables become impractically large).
+    pub fn zero(n_vars: usize) -> Self {
+        assert!(n_vars <= 24, "truth table over {n_vars} variables is too large");
+        TruthTable {
+            n_vars,
+            bits: vec![0; Self::words(n_vars)],
+        }
+    }
+
+    /// The constant-true table over `n_vars` variables.
+    pub fn ones(n_vars: usize) -> Self {
+        let mut t = Self::zero(n_vars);
+        for w in &mut t.bits {
+            *w = u64::MAX;
+        }
+        let last = t.bits.len() - 1;
+        t.bits[last] &= Self::tail_mask(n_vars);
+        t
+    }
+
+    /// Table of the projection onto variable `j` (the `j`-th input).
+    pub fn projection(n_vars: usize, j: usize) -> Self {
+        assert!(j < n_vars);
+        let mut t = Self::zero(n_vars);
+        if j < 6 {
+            // Pattern like 0b…11001100 with runs of length 2^j.
+            let mut pattern = 0u64;
+            for i in 0..64 {
+                if (i >> j) & 1 == 1 {
+                    pattern |= 1u64 << i;
+                }
+            }
+            for w in &mut t.bits {
+                *w = pattern;
+            }
+        } else {
+            for (wi, w) in t.bits.iter_mut().enumerate() {
+                if (wi >> (j - 6)) & 1 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        let last = t.bits.len() - 1;
+        t.bits[last] &= Self::tail_mask(n_vars);
+        t
+    }
+
+    /// Builds the table of `expr` with inputs ordered as `vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` mentions a variable not in `vars`.
+    pub fn from_anf(expr: &Anf, vars: &[Var]) -> Self {
+        let pos = |v: Var| -> usize {
+            vars.iter()
+                .position(|&q| q == v)
+                .unwrap_or_else(|| panic!("variable {v} not in truth-table ordering"))
+        };
+        let mut acc = Self::zero(vars.len());
+        for term in expr.terms() {
+            let mut cube = Self::ones(vars.len());
+            for v in term.vars() {
+                cube.and_assign(&Self::projection(vars.len(), pos(v)));
+            }
+            acc.xor_assign(&cube);
+        }
+        acc
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of assignments (`2^n`).
+    pub fn len(&self) -> usize {
+        1usize << self.n_vars
+    }
+
+    /// Returns `true` if the function is constant 0 — never true.
+    pub fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if there are no assignments — impossible, so `false`;
+    /// present for API completeness with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Value at assignment index `i`.
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i >> 6] >> (i & 63) & 1 == 1
+    }
+
+    /// Sets the value at assignment index `i`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        if value {
+            self.bits[i >> 6] |= 1 << (i & 63);
+        } else {
+            self.bits[i >> 6] &= !(1 << (i & 63));
+        }
+    }
+
+    /// In-place XOR with another table of the same arity.
+    pub fn xor_assign(&mut self, other: &TruthTable) {
+        assert_eq!(self.n_vars, other.n_vars);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place AND with another table of the same arity.
+    pub fn and_assign(&mut self, other: &TruthTable) {
+        assert_eq!(self.n_vars, other.n_vars);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// XOR, returning a new table.
+    pub fn xor(&self, other: &TruthTable) -> TruthTable {
+        let mut t = self.clone();
+        t.xor_assign(other);
+        t
+    }
+
+    /// AND, returning a new table.
+    pub fn and(&self, other: &TruthTable) -> TruthTable {
+        let mut t = self.clone();
+        t.and_assign(other);
+        t
+    }
+
+    /// Complement.
+    pub fn not(&self) -> TruthTable {
+        let mut t = self.clone();
+        for w in &mut t.bits {
+            *w = !*w;
+        }
+        let last = t.bits.len() - 1;
+        t.bits[last] &= Self::tail_mask(self.n_vars);
+        t
+    }
+
+    /// Number of satisfying assignments.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Converts back to canonical ANF via the Möbius transform.
+    ///
+    /// `vars` supplies the variable for each input position and must have
+    /// length [`TruthTable::n_vars`].
+    pub fn to_anf(&self, vars: &[Var]) -> Anf {
+        assert_eq!(vars.len(), self.n_vars);
+        // Fast in-place Möbius (zeta over GF(2)): for each variable j,
+        // f[S ∪ {j}] ^= f[S].
+        let n = self.len();
+        let mut f: Vec<bool> = (0..n).map(|i| self.get(i)).collect();
+        for j in 0..self.n_vars {
+            let bit = 1usize << j;
+            for s in 0..n {
+                if s & bit != 0 {
+                    f[s] ^= f[s ^ bit];
+                }
+            }
+        }
+        let mut terms = Vec::new();
+        for (s, &coeff) in f.iter().enumerate() {
+            if coeff {
+                terms.push(Monomial::from_vars(
+                    (0..self.n_vars).filter(|j| s >> j & 1 == 1).map(|j| vars[j]),
+                ));
+            }
+        }
+        Anf::from_terms(terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarPool;
+
+    #[test]
+    fn projection_matches_definition() {
+        for n in 1..=8usize {
+            for j in 0..n {
+                let t = TruthTable::projection(n, j);
+                for i in 0..1usize << n {
+                    assert_eq!(t.get(i), i >> j & 1 == 1, "n={n} j={j} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anf_round_trip() {
+        let mut pool = VarPool::new();
+        let exprs = [
+            "0",
+            "1",
+            "a",
+            "a ^ b",
+            "a*b ^ c",
+            "a*b*c ^ a ^ b ^ 1",
+            "(a^b)*(c^d) ^ a*d",
+        ];
+        for src in exprs {
+            let x = Anf::parse(src, &mut pool).unwrap();
+            let vars: Vec<Var> = ["a", "b", "c", "d"]
+                .iter()
+                .map(|n| pool.var_or_input(n))
+                .collect();
+            let tt = TruthTable::from_anf(&x, &vars);
+            assert_eq!(tt.to_anf(&vars), x, "round-trip of {src}");
+        }
+    }
+
+    #[test]
+    fn eval_agreement() {
+        let mut pool = VarPool::new();
+        let x = Anf::parse("a*b ^ b*c ^ c*a", &mut pool).unwrap(); // maj3
+        let vars: Vec<Var> = ["a", "b", "c"].iter().map(|n| pool.find(n).unwrap()).collect();
+        let tt = TruthTable::from_anf(&x, &vars);
+        for i in 0..8usize {
+            let direct = x.eval(|v| {
+                let j = vars.iter().position(|&q| q == v).unwrap();
+                i >> j & 1 == 1
+            });
+            assert_eq!(tt.get(i), direct);
+        }
+        assert_eq!(tt.count_ones(), 4);
+    }
+
+    #[test]
+    fn large_var_count_uses_multiple_words() {
+        let t = TruthTable::projection(8, 7);
+        assert_eq!(t.len(), 256);
+        assert_eq!(t.count_ones(), 128);
+        let o = TruthTable::ones(8);
+        assert_eq!(o.count_ones(), 256);
+        assert_eq!(o.not().count_ones(), 0);
+    }
+
+    #[test]
+    fn tail_mask_keeps_small_tables_clean() {
+        let t = TruthTable::ones(2);
+        assert_eq!(t.count_ones(), 4);
+        let n = t.not();
+        assert_eq!(n.count_ones(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Sets of variables.
+//!
+//! [`VarSet`] is a small-set representation optimised for the variable
+//! groups used by Progressive Decomposition (typically `k = 4` variables)
+//! and for expression supports (tens of variables). Indices below 128 are
+//! stored in a bitmask; larger indices spill into a sorted vector.
+
+use crate::var::Var;
+use std::fmt;
+
+/// Number of variable indices representable in the inline bitmask.
+pub(crate) const SMALL_VARS: u32 = 128;
+
+/// A set of [`Var`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pd_anf::{Var, VarSet};
+/// let set: VarSet = [Var(0), Var(5)].into_iter().collect();
+/// assert!(set.contains(Var(5)));
+/// assert!(!set.contains(Var(1)));
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VarSet {
+    small: u128,
+    /// Sorted, deduplicated indices `>= SMALL_VARS`.
+    large: Vec<u32>,
+}
+
+impl VarSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a singleton set.
+    pub fn singleton(v: Var) -> Self {
+        let mut s = Self::new();
+        s.insert(v);
+        s
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.small.count_ones() as usize + self.large.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.small == 0 && self.large.is_empty()
+    }
+
+    /// Inserts a variable; returns `true` if it was not already present.
+    pub fn insert(&mut self, v: Var) -> bool {
+        if v.0 < SMALL_VARS {
+            let bit = 1u128 << v.0;
+            let fresh = self.small & bit == 0;
+            self.small |= bit;
+            fresh
+        } else {
+            match self.large.binary_search(&v.0) {
+                Ok(_) => false,
+                Err(pos) => {
+                    self.large.insert(pos, v.0);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Removes a variable; returns `true` if it was present.
+    pub fn remove(&mut self, v: Var) -> bool {
+        if v.0 < SMALL_VARS {
+            let bit = 1u128 << v.0;
+            let present = self.small & bit != 0;
+            self.small &= !bit;
+            present
+        } else {
+            match self.large.binary_search(&v.0) {
+                Ok(pos) => {
+                    self.large.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        if v.0 < SMALL_VARS {
+            self.small & (1u128 << v.0) != 0
+        } else {
+            self.large.binary_search(&v.0).is_ok()
+        }
+    }
+
+    /// Iterates over the variables in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        BitIter(self.small)
+            .map(Var)
+            .chain(self.large.iter().map(|&i| Var(i)))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut out = self.clone();
+        out.small |= other.small;
+        for &i in &other.large {
+            out.insert(Var(i));
+        }
+        out
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        let large = self
+            .large
+            .iter()
+            .filter(|i| other.large.binary_search(i).is_ok())
+            .copied()
+            .collect();
+        VarSet {
+            small: self.small & other.small,
+            large,
+        }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        let large = self
+            .large
+            .iter()
+            .filter(|i| other.large.binary_search(i).is_err())
+            .copied()
+            .collect();
+        VarSet {
+            small: self.small & !other.small,
+            large,
+        }
+    }
+
+    /// Returns `true` if the sets share at least one variable.
+    pub fn intersects(&self, other: &VarSet) -> bool {
+        if self.small & other.small != 0 {
+            return true;
+        }
+        // Both spill vectors are expected to be tiny.
+        self.large
+            .iter()
+            .any(|i| other.large.binary_search(i).is_ok())
+    }
+
+    /// Returns `true` if every variable of `self` is in `other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        if self.small & !other.small != 0 {
+            return false;
+        }
+        self.large
+            .iter()
+            .all(|i| other.large.binary_search(i).is_ok())
+    }
+
+    pub(crate) fn small_mask(&self) -> u128 {
+        self.small
+    }
+}
+
+struct BitIter(u128);
+
+impl Iterator for BitIter {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(tz)
+        }
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        let mut s = VarSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<Var> for VarSet {
+    fn extend<I: IntoIterator<Item = Var>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VarSet {
+    type Item = Var;
+    type IntoIter = Box<dyn Iterator<Item = Var> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> VarSet {
+        ids.iter().map(|&i| Var(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VarSet::new();
+        assert!(s.insert(Var(3)));
+        assert!(!s.insert(Var(3)));
+        assert!(s.insert(Var(200)));
+        assert!(s.contains(Var(3)));
+        assert!(s.contains(Var(200)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(Var(3)));
+        assert!(!s.remove(Var(3)));
+        assert!(s.remove(Var(200)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[0, 1, 130]);
+        let b = set(&[1, 2, 130, 131]);
+        assert_eq!(a.union(&b), set(&[0, 1, 2, 130, 131]));
+        assert_eq!(a.intersection(&b), set(&[1, 130]));
+        assert_eq!(a.difference(&b), set(&[0]));
+        assert!(a.intersects(&b));
+        assert!(!set(&[0]).intersects(&set(&[1])));
+        assert!(set(&[1, 130]).is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = set(&[140, 2, 7, 129]);
+        let got: Vec<u32> = s.iter().map(|v| v.0).collect();
+        assert_eq!(got, vec![2, 7, 129, 140]);
+    }
+
+    #[test]
+    fn large_indices_round_trip() {
+        let mut s = VarSet::new();
+        for i in [500u32, 128, 127, 0] {
+            s.insert(Var(i));
+        }
+        assert_eq!(s.len(), 4);
+        let got: Vec<u32> = s.iter().map(|v| v.0).collect();
+        assert_eq!(got, vec![0, 127, 128, 500]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Two-operand adders (Table 1 row 5).
+//!
+//! * [`Adder::rca_netlist`] — the "Unoptimised (Ripple Carry Adder)"
+//!   description: discrete gates with a shared propagate XOR per stage
+//!   (the sharing blocks full-adder macro mapping, as happens when DC
+//!   synthesises described RTL gate by gate);
+//! * [`Adder::designware_netlist`] — the DesignWare-like implementation:
+//!   the same ripple structure built from the library's full-adder macro
+//!   (denser, similar speed — matching the paper's DW row);
+//! * [`Adder::sklansky_netlist`] — a parallel-prefix (carry-lookahead
+//!   family) adder, used by extension experiments;
+//! * [`Adder::spec`] — the Reed–Muller specification for Progressive
+//!   Decomposition.
+
+use crate::counter::ripple_add;
+use crate::words::word;
+use pd_anf::{Anf, Var, VarPool};
+use pd_netlist::{Netlist, NodeId};
+
+/// Two-operand adder benchmark: `s = a + b` with carry-out.
+#[derive(Clone, Debug)]
+pub struct Adder {
+    /// Operand width.
+    pub width: usize,
+    /// Variable pool.
+    pub pool: VarPool,
+    /// Operand A bits, LSB first.
+    pub a: Vec<Var>,
+    /// Operand B bits, LSB first.
+    pub b: Vec<Var>,
+}
+
+impl Adder {
+    /// Creates the benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0);
+        let mut pool = VarPool::new();
+        let a = word(&mut pool, "a", 0, width);
+        let b = word(&mut pool, "b", 1, width);
+        Adder { width, pool, a, b }
+    }
+
+    /// Number of sum outputs (`width + 1`, including carry-out).
+    pub fn out_bits(&self) -> usize {
+        self.width + 1
+    }
+
+    /// Reed–Muller specification: sum bits via the exact carry recursion
+    /// `c_{i+1} = a·b ⊕ (a⊕b)·c` (terms grow as `2^i`, the true RM size).
+    pub fn spec(&self) -> Vec<(String, Anf)> {
+        let mut out = Vec::with_capacity(self.out_bits());
+        let mut carry = Anf::zero();
+        for i in 0..self.width {
+            let ai = Anf::var(self.a[i]);
+            let bi = Anf::var(self.b[i]);
+            let p = ai.xor(&bi);
+            out.push((format!("s{i}"), p.xor(&carry)));
+            carry = ai.and(&bi).xor(&p.and(&carry));
+        }
+        out.push((format!("s{}", self.width), carry));
+        out
+    }
+
+    /// The discrete-gate ripple-carry description.
+    pub fn rca_netlist(&self) -> Netlist {
+        let mut nl = Netlist::new();
+        let a: Vec<NodeId> = self.a.iter().map(|&v| nl.input(v)).collect();
+        let b: Vec<NodeId> = self.b.iter().map(|&v| nl.input(v)).collect();
+        let sum = ripple_add(&mut nl, &a, &b);
+        for (i, &s) in sum.iter().enumerate().take(self.out_bits()) {
+            nl.set_output(&format!("s{i}"), s);
+        }
+        nl
+    }
+
+    /// DesignWare-like implementation: ripple of full-adder macros.
+    pub fn designware_netlist(&self) -> Netlist {
+        let mut nl = Netlist::new();
+        let a: Vec<NodeId> = self.a.iter().map(|&v| nl.input(v)).collect();
+        let b: Vec<NodeId> = self.b.iter().map(|&v| nl.input(v)).collect();
+        let mut carry = nl.constant(false);
+        for i in 0..self.width {
+            let (s, co) = nl.full_adder(a[i], b[i], carry);
+            nl.set_output(&format!("s{i}"), s);
+            carry = co;
+        }
+        nl.set_output(&format!("s{}", self.width), carry);
+        nl
+    }
+
+    /// Sklansky parallel-prefix adder (log-depth carry network).
+    pub fn sklansky_netlist(&self) -> Netlist {
+        let mut nl = Netlist::new();
+        let a: Vec<NodeId> = self.a.iter().map(|&v| nl.input(v)).collect();
+        let b: Vec<NodeId> = self.b.iter().map(|&v| nl.input(v)).collect();
+        let w = self.width;
+        // (g, p) per bit.
+        let mut g: Vec<NodeId> = (0..w).map(|i| nl.and(a[i], b[i])).collect();
+        let mut p: Vec<NodeId> = (0..w).map(|i| nl.xor(a[i], b[i])).collect();
+        let p_orig = p.clone();
+        // Sklansky prefix: after round d, (g[i],p[i]) covers [i-2^d+1, i].
+        let mut d = 0;
+        while (1usize << d) < w {
+            let half = 1usize << d;
+            let (g_prev, p_prev) = (g.clone(), p.clone());
+            for i in 0..w {
+                if i & half != 0 {
+                    let j = (i | (half - 1)) - half; // end of the left block
+                    let pg = nl.and(p_prev[i], g_prev[j]);
+                    g[i] = nl.or(g_prev[i], pg);
+                    p[i] = nl.and(p_prev[i], p_prev[j]);
+                }
+            }
+            d += 1;
+        }
+        // carry into bit i is g[i-1] over prefix [0, i-1].
+        let zero = nl.constant(false);
+        for i in 0..w {
+            let cin = if i == 0 { zero } else { g[i - 1] };
+            let s = nl.xor(p_orig[i], cin);
+            nl.set_output(&format!("s{i}"), s);
+        }
+        nl.set_output(&format!("s{w}"), g[w - 1]);
+        nl
+    }
+
+    /// Reference model.
+    pub fn reference(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::{random_operands, run_ints};
+    use pd_netlist::sim::check_equiv_anf;
+
+    fn check_adder(nl: &Netlist, adder: &Adder, seed: u64) {
+        let av = random_operands(seed, adder.width, 64);
+        let bv = random_operands(seed + 99, adder.width, 64);
+        let got = run_ints(
+            nl,
+            &[&adder.a, &adder.b],
+            &[av.clone(), bv.clone()],
+            "s",
+            adder.out_bits(),
+        );
+        for lane in 0..64 {
+            assert_eq!(got[lane], av[lane] + bv[lane], "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn rca_is_correct() {
+        let adder = Adder::new(16);
+        check_adder(&adder.rca_netlist(), &adder, 11);
+    }
+
+    #[test]
+    fn designware_is_correct() {
+        let adder = Adder::new(16);
+        check_adder(&adder.designware_netlist(), &adder, 13);
+    }
+
+    #[test]
+    fn sklansky_is_correct() {
+        for w in [3usize, 8, 16, 20] {
+            let adder = Adder::new(w);
+            check_adder(&adder.sklansky_netlist(), &adder, 17 + w as u64);
+        }
+    }
+
+    #[test]
+    fn spec_matches_netlists_exhaustively_at_8() {
+        let adder = Adder::new(8);
+        let spec = adder.spec();
+        assert_eq!(check_equiv_anf(&adder.rca_netlist(), &spec, 64, 3), None);
+        assert_eq!(
+            check_equiv_anf(&adder.designware_netlist(), &spec, 64, 5),
+            None
+        );
+        assert_eq!(
+            check_equiv_anf(&adder.sklansky_netlist(), &spec, 64, 7),
+            None
+        );
+    }
+
+    #[test]
+    fn spec_terms_grow_exponentially() {
+        let adder = Adder::new(12);
+        let spec = adder.spec();
+        // carry-out has 2^12 - 1 terms… roughly; at least large.
+        let last = &spec.last().unwrap().1;
+        assert!(last.term_count() > 1000);
+    }
+
+    #[test]
+    fn sklansky_is_shallower_than_rca() {
+        let adder = Adder::new(16);
+        let depth = |nl: &Netlist| {
+            let lv = nl.levels();
+            nl.outputs()
+                .iter()
+                .map(|&(_, n)| lv[n.index()])
+                .max()
+                .unwrap()
+        };
+        assert!(depth(&adder.sklansky_netlist()) < depth(&adder.rca_netlist()));
+    }
+}

@@ -1,0 +1,52 @@
+//! # pd-arith — benchmark circuits and manual baselines
+//!
+//! Generators for every circuit in the paper's Table 1, each offering:
+//! the Reed–Muller specification (the input to Progressive
+//! Decomposition), the paper's "Unoptimised" described architecture as a
+//! netlist, and the manual baselines it compares against:
+//!
+//! | Table 1 row | module | baselines |
+//! |---|---|---|
+//! | 16-bit LZD / 32-bit LOD | [`lzd`], [`lod`] | flat SOP (Fig. 1), Oklobdzija blocks (Fig. 2) |
+//! | 15-bit majority | [`majority`] | flat SOP |
+//! | 16-bit counter | [`counter`], [`compressor`] | adder tree, TGA |
+//! | 16-bit adder | [`adder`] | discrete RCA, DesignWare-like FA ripple, Sklansky |
+//! | 15-bit comparator | [`comparator`] | progressive mux chain, subtracter carry-out |
+//! | 12-bit A+B+C | [`three_input`] | RCA(RCA), CSA + adder |
+//!
+//! Two XOR-dominated circuits beyond Table 1 — [`parity`] and the
+//! [`gray`] codecs — stress the paper's §2 claim that algebraic (SOP)
+//! factorisation collapses exactly where the Reed–Muller form stays
+//! linear; the `factorisation` bench quantifies it.
+//!
+//! Every generator carries a reference model and is tested against plain
+//! integer arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod cla;
+pub mod comparator;
+pub mod compressor;
+pub mod counter;
+pub mod gray;
+pub mod lod;
+pub mod lzd;
+pub mod majority;
+pub mod multiplier;
+pub mod parity;
+pub mod three_input;
+pub mod words;
+
+pub use adder::Adder;
+pub use cla::Cla;
+pub use comparator::Comparator;
+pub use counter::Counter;
+pub use gray::Gray;
+pub use lod::Lod;
+pub use lzd::Lzd;
+pub use majority::Majority;
+pub use multiplier::Multiplier;
+pub use parity::Parity;
+pub use three_input::ThreeInputAdder;

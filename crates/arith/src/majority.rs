@@ -1,0 +1,173 @@
+//! The n-bit majority function (Table 1 row 3, Fig. 6).
+//!
+//! The paper's "straightforward implementation" ORs together every
+//! `(n+1)/2`-subset of the inputs — an intuitive but enormous SOP — while
+//! Progressive Decomposition discovers the hidden parallel counters and
+//! implements "count then compare with (n+1)/2".
+
+use crate::words::word;
+use pd_anf::{Anf, Monomial, Var, VarPool};
+use pd_netlist::{Cube, Netlist, Sop};
+
+/// Majority benchmark over `n` (odd) single-bit inputs.
+#[derive(Clone, Debug)]
+pub struct Majority {
+    /// Number of inputs (odd).
+    pub n: usize,
+    /// Variable pool.
+    pub pool: VarPool,
+    /// The input bits.
+    pub bits: Vec<Var>,
+}
+
+/// Iterates over all `k`-subsets of `0..n` (lexicographic).
+pub(crate) fn combinations(n: usize, k: usize) -> impl Iterator<Item = Vec<usize>> {
+    let mut combo: Vec<usize> = (0..k).collect();
+    let mut done = k > n;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let out = combo.clone();
+        let mut i = k;
+        loop {
+            if i == 0 {
+                done = true;
+                break;
+            }
+            i -= 1;
+            if combo[i] != i + n - k {
+                combo[i] += 1;
+                for j in i + 1..k {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(out)
+    })
+}
+
+impl Majority {
+    /// Creates the benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n % 2 == 1 && n > 0, "majority needs an odd input count");
+        let mut pool = VarPool::new();
+        let bits = word(&mut pool, "a", 0, n);
+        Majority { n, pool, bits }
+    }
+
+    /// Threshold `(n+1)/2`.
+    pub fn threshold(&self) -> usize {
+        self.n.div_ceil(2)
+    }
+
+    /// The subset sizes whose products appear in the true Reed–Muller
+    /// form of an `n`-input threshold-`k` function.
+    ///
+    /// The ANF coefficient of an `s`-subset monomial is the parity of
+    /// `Σ_{j=k}^{s} C(s,j)`, and by Lucas' theorem `C(s,j)` is odd iff
+    /// `j` is a bitwise submask of `s`. For `n = 2ᵗ−1` (the paper's 7-
+    /// and 15-bit cases) only `s = k` survives, which is why §5.5 can
+    /// write the majority as the XOR of the `k`-subsets alone.
+    pub(crate) fn rm_sizes(n: usize, k: usize) -> Vec<usize> {
+        (k..=n)
+            .filter(|&s| (k..=s).filter(|&j| j & s == j).count() % 2 == 1)
+            .collect()
+    }
+
+    /// The true Reed–Muller form of the majority function for any odd
+    /// `n` (paper §5.5 shows the `n = 7` case, where it degenerates to
+    /// the XOR of the 4-subsets).
+    pub fn spec(&self) -> Vec<(String, Anf)> {
+        let k = self.threshold();
+        let mut terms: Vec<Monomial> = Vec::new();
+        for s in Self::rm_sizes(self.n, k) {
+            terms.extend(
+                combinations(self.n, s)
+                    .map(|c| Monomial::from_vars(c.into_iter().map(|i| self.bits[i]))),
+            );
+        }
+        vec![("maj".to_owned(), Anf::from_terms(terms))]
+    }
+
+    /// The intuitive SOP description: OR over all threshold-size subsets
+    /// (paper §6: "consider all 8-bit combinations of the 15 input bits").
+    pub fn sop(&self) -> Sop {
+        let k = self.threshold();
+        Sop(combinations(self.n, k)
+            .map(|c| Cube(c.into_iter().map(|i| (self.bits[i], true)).collect()))
+            .collect())
+    }
+
+    /// The flat SOP baseline netlist.
+    pub fn sop_netlist(&self) -> Netlist {
+        let mut nl = Netlist::new();
+        let node = self.sop().synthesize(&mut nl);
+        nl.set_output("maj", node);
+        nl
+    }
+
+    /// Reference model.
+    pub fn reference(&self, value: u64) -> bool {
+        (value & ((1u64 << self.n) - 1)).count_ones() as usize >= self.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_netlist::sim::check_equiv_anf;
+
+    #[test]
+    fn spec_matches_reference() {
+        // Includes widths where the RM form needs sizes beyond the
+        // threshold (9, 11, 13) — only n = 2ᵗ−1 degenerates to the
+        // k-subsets alone.
+        for n in [3usize, 5, 7, 9, 11, 13] {
+            let m = Majority::new(n);
+            let (_, expr) = &m.spec()[0];
+            for value in 0..1u64 << n {
+                let got = expr.eval(|v| {
+                    let idx = m.bits.iter().position(|&q| q == v).unwrap();
+                    value >> idx & 1 == 1
+                });
+                assert_eq!(got, m.reference(value), "maj{n} value {value:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rm_sizes_degenerate_exactly_for_mersenne_widths() {
+        assert_eq!(Majority::rm_sizes(7, 4), vec![4]);
+        assert_eq!(Majority::rm_sizes(15, 8), vec![8]);
+        assert_eq!(Majority::rm_sizes(5, 3), vec![3, 4]);
+        assert_eq!(Majority::rm_sizes(9, 5), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn spec_term_count_is_binomial() {
+        let m = Majority::new(15);
+        assert_eq!(m.spec()[0].1.term_count(), 6435); // C(15,8)
+        let m7 = Majority::new(7);
+        assert_eq!(m7.spec()[0].1.term_count(), 35); // C(7,4)
+    }
+
+    #[test]
+    fn sop_netlist_equals_spec() {
+        let m = Majority::new(7);
+        let nl = m.sop_netlist();
+        assert_eq!(check_equiv_anf(&nl, &m.spec(), 64, 3), None);
+    }
+
+    #[test]
+    fn combinations_count() {
+        assert_eq!(combinations(5, 2).count(), 10);
+        assert_eq!(combinations(4, 4).count(), 1);
+        assert_eq!(combinations(3, 5).count(), 0);
+    }
+}

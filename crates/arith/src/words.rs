@@ -1,0 +1,134 @@
+//! Input-word plumbing and integer-level simulation helpers.
+//!
+//! Benchmark circuits operate on integer operands; these helpers allocate
+//! word variables, drive netlists with integer stimulus and read
+//! multi-bit outputs back as integers, so tests can check circuits
+//! against plain `u64` arithmetic.
+
+use pd_anf::{Var, VarPool};
+use pd_netlist::{sim, Netlist};
+use std::collections::HashMap;
+
+/// Allocates `width` bits named `{name}{bit}` for word index `word`,
+/// LSB first.
+pub fn word(pool: &mut VarPool, name: &str, word: usize, width: usize) -> Vec<Var> {
+    pool.input_word(name, word, width)
+}
+
+/// Builds a 64-lane stimulus assigning each listed word an integer per
+/// lane: `values[w][lane]` is the integer driven onto word `w` in `lane`.
+pub fn stimulus_from_ints(words: &[&[Var]], values: &[Vec<u64>]) -> HashMap<Var, u64> {
+    assert_eq!(words.len(), values.len());
+    let mut stim = HashMap::new();
+    for (bits, vals) in words.iter().zip(values) {
+        assert!(vals.len() <= 64);
+        for (bit_idx, &v) in bits.iter().enumerate() {
+            let mut packed = 0u64;
+            for (lane, &value) in vals.iter().enumerate() {
+                if value >> bit_idx & 1 == 1 {
+                    packed |= 1 << lane;
+                }
+            }
+            stim.insert(v, packed);
+        }
+    }
+    stim
+}
+
+/// Reads outputs named `{prefix}0..{prefix}{n}` back as one integer per
+/// lane.
+pub fn outputs_as_ints(
+    netlist: &Netlist,
+    values: &[u64],
+    prefix: &str,
+    width: usize,
+    lanes: usize,
+) -> Vec<u64> {
+    let mut out = vec![0u64; lanes];
+    for bit in 0..width {
+        let name = format!("{prefix}{bit}");
+        let node = netlist
+            .outputs()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("missing output {name}"))
+            .1;
+        let word = values[node.index()];
+        for (lane, slot) in out.iter_mut().enumerate() {
+            if word >> lane & 1 == 1 {
+                *slot |= 1 << bit;
+            }
+        }
+    }
+    out
+}
+
+/// Drives `netlist` with integer operands and returns the integer value
+/// of outputs `{prefix}0..{prefix}{width}` for each lane.
+pub fn run_ints(
+    netlist: &Netlist,
+    words: &[&[Var]],
+    values: &[Vec<u64>],
+    prefix: &str,
+    width: usize,
+) -> Vec<u64> {
+    let lanes = values.first().map(Vec::len).unwrap_or(0);
+    let stim = stimulus_from_ints(words, values);
+    let node_values = sim::simulate64(netlist, &stim);
+    outputs_as_ints(netlist, &node_values, prefix, width, lanes)
+}
+
+/// Deterministic pseudo-random integers below `2^width` (SplitMix64).
+pub fn random_operands(seed: u64, width: usize, count: usize) -> Vec<u64> {
+    let mut state = seed;
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) & mask
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stimulus_packs_bits_per_lane() {
+        let mut pool = VarPool::new();
+        let a = word(&mut pool, "a", 0, 4);
+        let stim = stimulus_from_ints(&[&a], &[vec![0b1010, 0b0001]]);
+        assert_eq!(stim[&a[0]], 0b10); // bit0: lane1 only
+        assert_eq!(stim[&a[1]], 0b01); // bit1: lane0 only
+        assert_eq!(stim[&a[3]], 0b01);
+    }
+
+    #[test]
+    fn round_trip_through_identity_netlist() {
+        let mut pool = VarPool::new();
+        let a = word(&mut pool, "a", 0, 4);
+        let mut nl = Netlist::new();
+        for (i, &v) in a.iter().enumerate() {
+            let n = nl.input(v);
+            nl.set_output(&format!("z{i}"), n);
+        }
+        let vals = vec![vec![5u64, 9, 15, 0]];
+        let got = run_ints(&nl, &[&a], &vals, "z", 4);
+        assert_eq!(got, vec![5, 9, 15, 0]);
+    }
+
+    #[test]
+    fn random_operands_respect_width() {
+        let ops = random_operands(42, 5, 100);
+        assert!(ops.iter().all(|&x| x < 32));
+        assert!(ops.iter().any(|&x| x > 0));
+    }
+}

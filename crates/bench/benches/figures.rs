@@ -1,0 +1,8 @@
+//! `cargo bench --bench figures` — regenerates Figs. 1/2 statistics, the
+//! Fig. 3 hierarchy, the Fig. 4 online construction and the Fig. 6 trace.
+fn main() {
+    println!("{}", pd_bench::figures::fig12_interconnect());
+    println!("{}", pd_bench::figures::fig3_hierarchy());
+    println!("{}", pd_bench::figures::fig4_online());
+    println!("{}", pd_bench::figures::fig6_trace());
+}

@@ -1,0 +1,9 @@
+//! `cargo bench --bench futurework` — the paper's §7 future work: a
+//! canonical Boolean-ring representation (ZDD-backed ANF) whose size
+//! does not blow up with the explicit Reed–Muller term count, measured
+//! on the very circuit (32-bit LZD) §6 reports as intractable.
+fn main() {
+    pd_bench::futurework::cross_check();
+    let rows = pd_bench::futurework::scaling_rows();
+    println!("{}", pd_bench::futurework::print_scaling(&rows));
+}

@@ -1,0 +1,118 @@
+//! `cargo bench --bench runtime` — Criterion micro/meso benchmarks of the
+//! engine: ANF arithmetic, full decompositions and the synthesis flow.
+//! These quantify the heuristic's own cost (the paper ran in Maple; this
+//! reproduction is self-contained Rust).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pd_arith::{Adder, Counter, Lzd, Majority};
+use pd_cells::CellLibrary;
+use pd_core::{PdConfig, ProgressiveDecomposer};
+use pd_factor::{ExtractConfig, FactorNetwork};
+
+fn bench_anf_ops(c: &mut Criterion) {
+    let adder = Adder::new(12);
+    let spec = adder.spec();
+    let carry = &spec.last().unwrap().1;
+    let s5 = &spec[5].1;
+    c.bench_function("anf/xor_4k_terms", |b| {
+        b.iter(|| std::hint::black_box(carry.xor(s5)))
+    });
+    c.bench_function("anf/and_small_big", |b| {
+        b.iter(|| std::hint::black_box(s5.and(&spec[2].1)))
+    });
+    let m = Majority::new(15);
+    let maj = &m.spec()[0].1;
+    c.bench_function("anf/eval64_6435_terms", |b| {
+        b.iter(|| std::hint::black_box(maj.eval64(|v| u64::from(v.0) * 0x9e37)))
+    });
+}
+
+/// A named benchmark case: circuit label, pool and specification.
+type Case = (&'static str, pd_anf::VarPool, Vec<(String, pd_anf::Anf)>);
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decompose");
+    g.sample_size(10);
+    let cases: Vec<Case> = vec![
+        ("maj7", Majority::new(7).pool.clone(), Majority::new(7).spec()),
+        ("maj15", Majority::new(15).pool.clone(), Majority::new(15).spec()),
+        ("lzd12", Lzd::new(12).pool.clone(), Lzd::new(12).spec()),
+        ("counter12", Counter::new(12).pool.clone(), Counter::new(12).spec()),
+        ("adder10", Adder::new(10).pool.clone(), Adder::new(10).spec()),
+    ];
+    for (name, pool, spec) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || (pool.clone(), spec.clone()),
+                |(pool, spec)| {
+                    ProgressiveDecomposer::new(PdConfig::default()).decompose(pool, spec)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let lzd = Lzd::new(16);
+    let flat = lzd.sop_netlist();
+    let lib = CellLibrary::umc130();
+    c.bench_function("flow/map_sta_lzd16_sop", |b| {
+        b.iter(|| std::hint::black_box(pd_cells::report(&flat, &lib)))
+    });
+    c.bench_function("flow/simulate_lzd16", |b| {
+        let stim: std::collections::HashMap<_, _> = lzd
+            .bits
+            .iter()
+            .map(|&v| (v, 0xDEADBEEFCAFEBABEu64))
+            .collect();
+        b.iter(|| std::hint::black_box(pd_netlist::sim::simulate64(&flat, &stim)))
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    // Exact-equivalence cost: the BDD build for a full-width Table 1
+    // comparison (16-bit adder baselines, 33 outputs over 32 inputs).
+    let a = Adder::new(16);
+    let (rca, dw) = (a.rca_netlist(), a.designware_netlist());
+    c.bench_function("verify/bdd_adder16_pair", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                pd_bdd::verify::check_equal_interleaved(&a.pool, &rca, &dw).expect("small"),
+            )
+        })
+    });
+    // The §7 ring representation: the whole 32-bit LZD spec inside a ZDD.
+    c.bench_function("verify/zdd_lzd32_spec", |b| {
+        b.iter(|| std::hint::black_box(pd_bench::futurework::lzd_zdd(32)))
+    });
+}
+
+fn bench_factorisation(c: &mut Criterion) {
+    let lzd = Lzd::new(16);
+    let sops = lzd.sop();
+    let mut g = c.benchmark_group("factor");
+    g.sample_size(10);
+    g.bench_function("extract_lzd16", |b| {
+        b.iter_batched(
+            || (lzd.pool.clone(), FactorNetwork::from_sops(&sops)),
+            |(mut pool, mut net)| {
+                net.extract(&mut pool, &ExtractConfig::default());
+                std::hint::black_box(net.synthesize())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_anf_ops,
+    bench_decompose,
+    bench_flow,
+    bench_verify,
+    bench_factorisation
+);
+criterion_main!(benches);

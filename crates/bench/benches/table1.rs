@@ -1,0 +1,20 @@
+//! `cargo bench --bench table1` — regenerates the paper's Table 1 and
+//! writes the rows to `target/table1.json`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        pd_bench::Table1Options::quick()
+    } else {
+        pd_bench::Table1Options::default()
+    };
+    let rows = pd_bench::table1(&opts);
+    println!("{}", pd_bench::print_rows(&rows));
+    if let Ok(json) = serde_json::to_string_pretty(&rows) {
+        let _ = std::fs::write("target/table1.json", json);
+        println!("rows written to target/table1.json");
+    }
+    assert!(
+        rows.iter().all(|r| r.verified),
+        "all Table 1 netlists must verify against their specifications"
+    );
+}

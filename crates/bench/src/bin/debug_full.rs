@@ -1,0 +1,33 @@
+//! Full-scale PD feasibility: comparator-15 and three-input-12.
+use pd_core::{PdConfig, ProgressiveDecomposer, TraceEvent};
+fn rss_mb() -> u64 {
+    std::fs::read_to_string("/proc/self/status").unwrap_or_default()
+        .lines().find(|l| l.starts_with("VmRSS"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|x| x.parse::<u64>().ok()).unwrap_or(0) / 1024
+}
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "cmp".into());
+    let t0 = std::time::Instant::now();
+    let (pool, spec) = if which == "cmp" {
+        let c = pd_arith::Comparator::new(15);
+        (c.pool.clone(), c.spec())
+    } else {
+        let t = pd_arith::ThreeInputAdder::new(12);
+        (t.pool.clone(), t.spec())
+    };
+    eprintln!("[{:?}] spec built, rss={}MB", t0.elapsed(), rss_mb());
+    let d = ProgressiveDecomposer::new(PdConfig::default()).decompose(pool, spec);
+    eprintln!("[{:?}] decomposed: iters={}, rss={}MB", t0.elapsed(), d.iterations, rss_mb());
+    for ev in &d.trace {
+        if let TraceEvent::IterationStart { iteration, group, literals } = ev {
+            let names: Vec<&str> = group.iter().map(|&v| d.pool.name(v)).collect();
+            eprintln!("  iter {iteration}: {{{}}} lits={literals}", names.join(","));
+        }
+    }
+    let check = d.check_equivalence(512, 1);
+    eprintln!("[{:?}] hier check: {:?}", t0.elapsed(), check);
+    let nl = d.to_netlist();
+    let r = pd_cells::report(&nl, &pd_cells::CellLibrary::umc130());
+    eprintln!("[{:?}] PD result: {}", t0.elapsed(), r);
+}

@@ -1,0 +1,59 @@
+//! Internal debugging helper: memory/progress instrumentation.
+use pd_core::{PdConfig, ProgressiveDecomposer, TraceEvent};
+
+fn rss_mb() -> u64 {
+    let s = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    s.lines()
+        .find(|l| l.starts_with("VmRSS"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|x| x.parse::<u64>().ok())
+        .unwrap_or(0)
+        / 1024
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "counter".into());
+    let n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let (pool, spec) = match which.as_str() {
+        "counter" => {
+            let c = pd_arith::Counter::new(n);
+            (c.pool.clone(), c.spec())
+        }
+        "adder" => {
+            let a = pd_arith::Adder::new(n);
+            (a.pool.clone(), a.spec())
+        }
+        "mult" => {
+            let m = pd_arith::Multiplier::new(n);
+            (m.pool.clone(), m.spec())
+        }
+        _ => panic!("unknown"),
+    };
+    eprintln!("spec terms: {}, rss={}MB", spec.iter().map(|(_, e)| e.term_count()).sum::<usize>(), rss_mb());
+    let mut cfg = PdConfig::default();
+    for flag in std::env::args().skip(3) {
+        match flag.as_str() {
+            "bare" => cfg = cfg.bare(),
+            "no-ns" => cfg.enable_nullspace_merging = false,
+            "no-lin" => cfg.enable_linear_minimisation = false,
+            "no-size" => cfg.enable_size_reduction = false,
+            "no-id" => cfg.enable_identities = false,
+            other => {
+                if let Some(n) = other.strip_prefix("iters=") {
+                    cfg.max_iterations = n.parse().expect("iters=N");
+                } else {
+                    panic!("unknown flag {other}");
+                }
+            }
+        }
+    }
+    let d = ProgressiveDecomposer::new(cfg).decompose(pool, spec.clone());
+    eprintln!("done: iters={}, rss={}MB", d.iterations, rss_mb());
+    for ev in &d.trace {
+        if let TraceEvent::IterationStart { iteration, group, literals } = ev {
+            let names: Vec<&str> = group.iter().map(|&v| d.pool.name(v)).collect();
+            eprintln!("  iter {iteration}: {{{}}} lits={literals}", names.join(","));
+        }
+    }
+    eprintln!("hier check: {:?}", d.check_equivalence(128, 1));
+}

@@ -1,0 +1,30 @@
+//! Probe full-scale spec sizes and PD feasibility.
+fn rss_mb() -> u64 {
+    std::fs::read_to_string("/proc/self/status").unwrap_or_default()
+        .lines().find(|l| l.starts_with("VmRSS"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|x| x.parse::<u64>().ok()).unwrap_or(0) / 1024
+}
+fn main() {
+    let t0 = std::time::Instant::now();
+    for w in [8usize, 10, 12] {
+        let t = pd_arith::ThreeInputAdder::new(w);
+        match t.spec_capped(50_000_000) {
+            Some(spec) => {
+                let total: usize = spec.iter().map(|(_, e)| e.term_count()).sum();
+                eprintln!("3in-{w}: {total} terms, rss={}MB, t={:?}", rss_mb(), t0.elapsed());
+            }
+            None => eprintln!("3in-{w}: over cap"),
+        }
+    }
+    for w in [12usize, 14, 15] {
+        let c = pd_arith::Comparator::new(w);
+        match c.spec_capped(50_000_000) {
+            Some(spec) => {
+                let total: usize = spec.iter().map(|(_, e)| e.term_count()).sum();
+                eprintln!("cmp-{w}: {total} terms, rss={}MB, t={:?}", rss_mb(), t0.elapsed());
+            }
+            None => eprintln!("cmp-{w}: over cap"),
+        }
+    }
+}

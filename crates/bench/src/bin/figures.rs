@@ -1,0 +1,7 @@
+//! Regenerates the data behind the paper's figures.
+fn main() {
+    println!("{}", pd_bench::figures::fig12_interconnect());
+    println!("{}", pd_bench::figures::fig3_hierarchy());
+    println!("{}", pd_bench::figures::fig4_online());
+    println!("{}", pd_bench::figures::fig6_trace());
+}

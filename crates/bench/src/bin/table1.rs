@@ -1,0 +1,14 @@
+//! Regenerates Table 1. Usage: `table1 [--quick] [--skip-verify]`.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = if args.iter().any(|a| a == "--quick") {
+        pd_bench::Table1Options::quick()
+    } else {
+        pd_bench::Table1Options::default()
+    };
+    if args.iter().any(|a| a == "--skip-verify") {
+        opts.skip_verification = true;
+    }
+    let rows = pd_bench::table1(&opts);
+    println!("{}", pd_bench::print_rows(&rows));
+}

@@ -1,0 +1,34 @@
+//! # pd-cells — the downstream synthesis flow
+//!
+//! Stand-in for the paper's Synopsys Design Compiler + UMC 0.13 µm flow:
+//! a synthetic standard-cell [`CellLibrary`], a local-pattern technology
+//! mapper ([`map::map`]) and a load-aware static timing analysis
+//! ([`report`]). See `DESIGN.md` §2 for the substitution rationale:
+//! absolute µm²/ns values are synthetic, while ratios between
+//! architectures are the reproduction target.
+//!
+//! ```
+//! use pd_anf::{Anf, VarPool};
+//! use pd_cells::{report, CellLibrary};
+//! use pd_netlist::synthesize_outputs;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut pool = VarPool::new();
+//! let maj = Anf::parse("a*b ^ b*c ^ c*a", &mut pool)?;
+//! let nl = synthesize_outputs(&[("y".into(), maj)]);
+//! let lib = CellLibrary::umc130();
+//! println!("{}", report(&nl, &lib)); // e.g. "10.7µm²  0.08ns  (1 cells)"
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod library;
+pub mod map;
+pub mod msim;
+mod sta;
+
+pub use library::{Cell, CellKind, CellLibrary};
+pub use map::{MappedCell, MappedNetlist};
+pub use sta::{arrival_times, report, report_mapped, AreaDelayReport};

@@ -1,0 +1,221 @@
+//! Static timing analysis and area/delay reporting.
+//!
+//! The delay model is load-aware: a cell's pin-to-pin delay is its
+//! intrinsic delay plus `load_ns_per_fanout × (fanout − 1)`. The load term
+//! is what penalises the flat, high-fan-out architectures of the paper's
+//! Fig. 1 — exactly the effect the motivation section describes — while
+//! hierarchical low-fan-in structures pay almost nothing.
+
+use crate::library::{CellKind, CellLibrary};
+use crate::map::{map, MappedNetlist};
+use pd_netlist::{Netlist, NodeId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Area/delay summary of a mapped netlist, in the paper's reporting units.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaDelayReport {
+    /// Total cell area (µm²).
+    pub area_um2: f64,
+    /// Critical-path delay (ns).
+    pub delay_ns: f64,
+    /// Number of cell instances.
+    pub cell_count: usize,
+    /// Instances per cell kind.
+    pub histogram: BTreeMap<CellKind, usize>,
+    /// Output with the worst arrival time.
+    pub critical_output: Option<String>,
+}
+
+impl fmt::Display for AreaDelayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}µm²  {:.2}ns  ({} cells)",
+            self.area_um2, self.delay_ns, self.cell_count
+        )
+    }
+}
+
+/// Computes per-node arrival times of a mapped netlist under `lib`.
+///
+/// Returns `(arrivals, worst)` where `arrivals` maps each driven netlist
+/// node to its arrival time in ns and `worst` is the critical output.
+pub fn arrival_times(
+    mapped: &MappedNetlist,
+    lib: &CellLibrary,
+) -> (HashMap<NodeId, f64>, Option<(String, f64)>) {
+    // Fan-out per source node over the mapped cell graph (+ outputs).
+    let mut fanout: HashMap<NodeId, u32> = HashMap::new();
+    for c in &mapped.cells {
+        for f in &c.fanins {
+            *fanout.entry(*f).or_insert(0) += 1;
+        }
+    }
+    for (_, n) in &mapped.outputs {
+        *fanout.entry(*n).or_insert(0) += 1;
+    }
+    let mut arrival: HashMap<NodeId, f64> = HashMap::new();
+    for &i in &mapped.inputs {
+        arrival.insert(i, 0.0);
+    }
+    for c in &mapped.cells {
+        let input_time = c
+            .fanins
+            .iter()
+            .map(|f| arrival.get(f).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        let cell = lib.cell(c.kind);
+        let load = fanout.get(&c.drives).copied().unwrap_or(1).max(1) - 1;
+        let t = input_time + cell.delay_ns + cell.load_ns_per_fanout * f64::from(load);
+        arrival.insert(c.drives, t);
+    }
+    let worst = mapped
+        .outputs
+        .iter()
+        .map(|(name, n)| (name.clone(), arrival.get(n).copied().unwrap_or(0.0)))
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    (arrival, worst)
+}
+
+/// Maps `netlist` and reports its area and critical-path delay under `lib`.
+///
+/// This is the whole "synthesis flow" in one call: sweep dead logic,
+/// technology-map, and run STA.
+///
+/// # Examples
+///
+/// ```
+/// use pd_anf::{Anf, VarPool};
+/// use pd_cells::{report, CellLibrary};
+/// use pd_netlist::synthesize_outputs;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pool = VarPool::new();
+/// let expr = Anf::parse("a*b ^ c", &mut pool)?;
+/// let nl = synthesize_outputs(&[("y".into(), expr)]);
+/// let r = report(&nl, &CellLibrary::umc130());
+/// assert!(r.area_um2 > 0.0 && r.delay_ns > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn report(netlist: &Netlist, lib: &CellLibrary) -> AreaDelayReport {
+    let swept = netlist.sweep();
+    let mapped = map(&swept);
+    report_mapped(&mapped, lib)
+}
+
+/// Reports area/delay for an already-mapped netlist.
+pub fn report_mapped(mapped: &MappedNetlist, lib: &CellLibrary) -> AreaDelayReport {
+    let (_, worst) = arrival_times(mapped, lib);
+    AreaDelayReport {
+        area_um2: mapped.area_um2(lib),
+        delay_ns: worst.as_ref().map(|w| w.1).unwrap_or(0.0),
+        cell_count: mapped.cells.len(),
+        histogram: mapped.histogram(),
+        critical_output: worst.map(|w| w.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_anf::VarPool;
+
+    fn chain(n: usize) -> Netlist {
+        // x0 AND x1 AND ... (linear chain, depth n-1).
+        let mut pool = VarPool::new();
+        let mut nl = Netlist::new();
+        let mut acc = {
+            let v = pool.input("x0", 0, 0);
+            nl.input(v)
+        };
+        for i in 1..n {
+            let v = pool.input(&format!("x{i}"), 0, i);
+            let inp = nl.input(v);
+            acc = nl.and(acc, inp);
+        }
+        nl.set_output("y", acc);
+        nl
+    }
+
+    #[test]
+    fn delay_grows_with_chain_depth() {
+        let lib = CellLibrary::umc130();
+        let d4 = report(&chain(4), &lib).delay_ns;
+        let d8 = report(&chain(8), &lib).delay_ns;
+        assert!(d8 > d4);
+        let unit = CellLibrary::unit();
+        let r = report(&chain(5), &unit);
+        assert_eq!(r.delay_ns, 4.0, "unit library counts levels");
+        assert_eq!(r.area_um2, 4.0);
+    }
+
+    #[test]
+    fn load_penalty_slows_high_fanout() {
+        // One AND gate feeding k inverters: the AND's delay includes the
+        // load term, so total delay grows with k.
+        let lib = CellLibrary::umc130();
+        let mut delays = Vec::new();
+        for k in [1usize, 8, 32] {
+            let mut pool = VarPool::new();
+            let mut nl = Netlist::new();
+            let a = pool.input("a", 0, 0);
+            let b = pool.input("b", 0, 1);
+            let (na, nb) = (nl.input(a), nl.input(b));
+            let g = nl.and(na, nb);
+            for i in 0..k {
+                // Distinct sinks: XOR with distinct inputs.
+                let v = pool.input(&format!("x{i}"), 0, i + 2);
+                let nv = nl.input(v);
+                let s = nl.xor(g, nv);
+                nl.set_output(&format!("y{i}"), s);
+            }
+            delays.push(report(&nl, &lib).delay_ns);
+        }
+        assert!(delays[1] > delays[0]);
+        assert!(delays[2] > delays[1]);
+    }
+
+    #[test]
+    fn report_names_critical_output() {
+        let lib = CellLibrary::umc130();
+        let mut pool = VarPool::new();
+        let mut nl = Netlist::new();
+        let a = pool.input("a", 0, 0);
+        let b = pool.input("b", 0, 1);
+        let (na, nb) = (nl.input(a), nl.input(b));
+        let fast = nl.and(na, nb);
+        let slow1 = nl.xor(na, nb);
+        let slow2 = nl.xor(slow1, fast);
+        nl.set_output("fast", fast);
+        nl.set_output("slow", slow2);
+        let r = report(&nl, &lib);
+        assert_eq!(r.critical_output.as_deref(), Some("slow"));
+    }
+
+    #[test]
+    fn fa_macro_reduces_area_versus_discrete() {
+        // An RCA stage mapped as an FA macro must be smaller than
+        // forcing discrete gates (by sharing the inner XOR elsewhere).
+        let lib = CellLibrary::umc130();
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..3).map(|i| pool.input(&format!("v{i}"), 0, i)).collect();
+        let mut nl1 = Netlist::new();
+        let n: Vec<_> = vars.iter().map(|&v| nl1.input(v)).collect();
+        let (s, co) = nl1.full_adder(n[0], n[1], n[2]);
+        nl1.set_output("s", s);
+        nl1.set_output("co", co);
+        let macro_area = report(&nl1, &lib).area_um2;
+
+        let mut nl2 = Netlist::new();
+        let n: Vec<_> = vars.iter().map(|&v| nl2.input(v)).collect();
+        let inner = nl2.xor(n[0], n[1]);
+        let s = nl2.xor(inner, n[2]);
+        let co = nl2.maj(n[0], n[1], n[2]);
+        nl2.set_output("s", s);
+        nl2.set_output("co", co);
+        nl2.set_output("p", inner); // block absorption
+        let discrete_area = report(&nl2, &lib).area_um2;
+        assert!(macro_area < discrete_area);
+    }
+}

@@ -1,0 +1,116 @@
+//! Tunable parameters of the decomposition.
+
+/// Configuration of [`crate::ProgressiveDecomposer`].
+///
+/// Defaults follow the paper: group size `k = 4` (§5.1: "In our experiments
+/// we always use k = 4 but different values of k can be used"), identities
+/// enumerated over bounded-depth expression trees (§5.5), and all four
+/// basis optimisations enabled. The `enable_*` switches exist for the
+/// ablation experiments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PdConfig {
+    /// Group size `k`: how many variables are abstracted per iteration.
+    pub group_size: usize,
+    /// Maximum number of basis variables multiplied together when
+    /// enumerating candidate identities (the paper's bounded expression
+    /// tree depth).
+    pub identity_product_depth: usize,
+    /// Maximum number of candidate groups evaluated during the exhaustive
+    /// group search (once primary inputs are exhausted). Beyond this a
+    /// co-occurrence heuristic picks the group.
+    pub exhaustive_group_limit: usize,
+    /// Cap on generator products enumerated per null-space membership test.
+    pub nullspace_product_cap: usize,
+    /// Skip the outer-side linear-dependence search when the pair list's
+    /// outers exceed this many XOR terms in total (exact elimination over
+    /// multi-million-term polynomials is useless and slow; see
+    /// `pd_core::lindep`).
+    pub lindep_outer_term_cap: usize,
+    /// Hard bound on main-loop iterations.
+    pub max_iterations: usize,
+    /// Maximum extra literals a substitution identity may introduce when
+    /// eliminating a basis element.
+    pub substitution_growth_limit: usize,
+    /// Enable the Boolean-division pair merge through null-spaces (§5.2).
+    pub enable_nullspace_merging: bool,
+    /// Enable basis minimisation by linear dependence (§5.3).
+    pub enable_linear_minimisation: bool,
+    /// Enable the local size-reduction rewrite (§5.4).
+    pub enable_size_reduction: bool,
+    /// Enable identity discovery and application (§5.5).
+    pub enable_identities: bool,
+}
+
+impl Default for PdConfig {
+    fn default() -> Self {
+        PdConfig {
+            group_size: 4,
+            identity_product_depth: 2,
+            exhaustive_group_limit: 3000,
+            nullspace_product_cap: 64,
+            lindep_outer_term_cap: 100_000,
+            max_iterations: 512,
+            substitution_growth_limit: 6,
+            enable_nullspace_merging: true,
+            enable_linear_minimisation: true,
+            enable_size_reduction: true,
+            enable_identities: true,
+        }
+    }
+}
+
+impl PdConfig {
+    /// The paper's configuration (`k = 4`, everything enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the group size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_group_size(mut self, k: usize) -> Self {
+        assert!(k > 0, "group size must be positive");
+        self.group_size = k;
+        self
+    }
+
+    /// Disables every optional optimisation (plain kernel-style
+    /// decomposition); used as the ablation baseline.
+    pub fn bare(mut self) -> Self {
+        self.enable_nullspace_merging = false;
+        self.enable_linear_minimisation = false;
+        self.enable_size_reduction = false;
+        self.enable_identities = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PdConfig::default();
+        assert_eq!(c.group_size, 4);
+        assert!(c.enable_nullspace_merging);
+        assert!(c.enable_identities);
+    }
+
+    #[test]
+    fn bare_disables_optimisations() {
+        let c = PdConfig::default().bare();
+        assert!(!c.enable_nullspace_merging);
+        assert!(!c.enable_linear_minimisation);
+        assert!(!c.enable_size_reduction);
+        assert!(!c.enable_identities);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_group_size_panics() {
+        let _ = PdConfig::default().with_group_size(0);
+    }
+}

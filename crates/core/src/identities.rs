@@ -1,0 +1,373 @@
+//! Identity discovery and bookkeeping (paper §5.5).
+//!
+//! After a basis is found, relations among its elements are discovered by
+//! exhaustive enumeration over the group's (restricted) assignments: build
+//! the truth column of every product of at most `depth` basis variables and
+//! run GF(2) elimination — every linear dependency among the columns is an
+//! identity `⊕ products (⊕ 1) = 0`. Two kinds matter downstream:
+//!
+//! * **substitutions** `sᵢ = f(s…)`, which shrink the basis (the majority
+//!   example: `s₃ = s₁s₂`), and
+//! * **zero products** `sᵢ·sⱼ = 0`, which seed the null-spaces used by the
+//!   Boolean-division merge in the next iteration.
+//!
+//! Identities are discovered on assignment sets restricted only by
+//! *previously known* identities — a superset of the value combinations
+//! reachable from primary inputs — so every emitted identity is sound.
+
+use crate::config::PdConfig;
+use pd_anf::gf2::{Gf2Matrix, Insert};
+use pd_anf::{Anf, Monomial, NullSpace, Var, VarSet};
+
+/// The set of identities known to hold (expressions ≡ 0 on all reachable
+/// input combinations).
+#[derive(Clone, Debug, Default)]
+pub struct IdentityStore {
+    /// All identities, as expressions ≡ 0.
+    zeros: Vec<Anf>,
+    /// Fast path: single-monomial identities (products that are 0).
+    zero_products: Vec<Monomial>,
+}
+
+impl IdentityStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All identities as expressions ≡ 0.
+    pub fn zeros(&self) -> &[Anf] {
+        &self.zeros
+    }
+
+    /// Number of identities known.
+    pub fn len(&self) -> usize {
+        self.zeros.len()
+    }
+
+    /// Returns `true` when no identity is known.
+    pub fn is_empty(&self) -> bool {
+        self.zeros.is_empty()
+    }
+
+    /// Records `expr ≡ 0`.
+    pub fn add(&mut self, expr: Anf) {
+        if expr.is_zero() || self.zeros.contains(&expr) {
+            return;
+        }
+        if expr.term_count() == 1 {
+            let m = expr.terms().next().expect("one term").clone();
+            if m.degree() >= 2 {
+                self.zero_products.push(m.clone());
+            }
+        }
+        self.zeros.push(expr);
+    }
+
+    /// Drops monomials of `expr` that are divisible by a known zero
+    /// product. Sound: those monomials are 0 on every reachable input.
+    pub fn reduce(&self, expr: &Anf) -> Anf {
+        if self.zero_products.is_empty() {
+            return expr.clone();
+        }
+        Anf::from_terms(
+            expr.terms()
+                .filter(|t| !self.zero_products.iter().any(|z| z.divides(t)))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// The conservative null-space of a single variable: for every identity
+    /// `v·W ≡ 0` (every monomial divisible by `v`), `W` is a generator.
+    pub fn var_nullspace(&self, v: Var) -> NullSpace {
+        let mut gens = Vec::new();
+        for z in &self.zeros {
+            if z.term_count() > 0 && z.terms().all(|t| t.contains(v)) {
+                let w = Anf::from_terms(z.terms().map(|t| t.without(v)).collect());
+                if !w.is_zero() {
+                    gens.push(w);
+                }
+            }
+        }
+        NullSpace::from_gens(gens)
+    }
+
+    /// Identities whose support lies inside `vars` (usable to restrict
+    /// assignment enumeration over that group).
+    pub fn restricted_to(&self, vars: &VarSet) -> Vec<&Anf> {
+        self.zeros
+            .iter()
+            .filter(|z| z.support().is_subset(vars))
+            .collect()
+    }
+
+    /// Removes identities mentioning any of `vars` (used after those
+    /// variables have been rewritten away and are no longer meaningful).
+    pub fn drop_vars(&mut self, vars: &VarSet) {
+        self.zeros.retain(|z| !z.intersects(vars));
+        self.zero_products.retain(|m| !m.intersects(vars));
+    }
+}
+
+/// An identity discovered among basis variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoundIdentity {
+    /// The identity as an expression over basis variables, ≡ 0.
+    pub expr: Anf,
+}
+
+/// Discovers identities among `basis`: `basis[i].0` is the fresh variable
+/// naming expression `basis[i].1` (over `group` variables).
+///
+/// Assignments of `group` violating a known identity (with support inside
+/// the group) are excluded. Products of up to `cfg.identity_product_depth`
+/// basis variables are enumerated, plus the constant 1; every GF(2)
+/// dependency among their value columns is returned.
+///
+/// # Panics
+///
+/// Panics if `group` has more than 24 variables (assignment enumeration
+/// would be impractical; Progressive Decomposition uses `k ≤ 6`).
+pub fn find_identities(
+    basis: &[(Var, Anf)],
+    group: &[Var],
+    store: &IdentityStore,
+    cfg: &PdConfig,
+) -> Vec<FoundIdentity> {
+    assert!(group.len() <= 24, "group too large for identity search");
+    if basis.is_empty() {
+        return Vec::new();
+    }
+    let group_set: VarSet = group.iter().copied().collect();
+    let constraints = store.restricted_to(&group_set);
+    // Enumerate admissible assignments.
+    let n = group.len();
+    let mut admissible: Vec<usize> = Vec::new();
+    'outer: for a in 0..(1usize << n) {
+        let value = |v: Var| -> bool {
+            group
+                .iter()
+                .position(|&g| g == v)
+                .map(|j| a >> j & 1 == 1)
+                .expect("constraint support is inside the group")
+        };
+        for c in &constraints {
+            if c.eval(value) {
+                continue 'outer;
+            }
+        }
+        admissible.push(a);
+    }
+    if admissible.is_empty() {
+        return Vec::new();
+    }
+    // Value column of each basis variable over admissible assignments.
+    let m = basis.len();
+    let words = admissible.len().div_ceil(64);
+    let mut var_cols: Vec<Vec<u64>> = vec![vec![0u64; words]; m];
+    for (row, &a) in admissible.iter().enumerate() {
+        let value = |v: Var| -> bool {
+            group
+                .iter()
+                .position(|&g| g == v)
+                .map(|j| a >> j & 1 == 1)
+                .unwrap_or(false)
+        };
+        for (bi, (_, expr)) in basis.iter().enumerate() {
+            if expr.eval(value) {
+                var_cols[bi][row / 64] |= 1 << (row % 64);
+            }
+        }
+    }
+    // Enumerate product subsets up to the configured depth, smallest first
+    // so substitutions prefer low-degree right-hand sides.
+    let mut subsets: Vec<Vec<usize>> = Vec::new();
+    let mut frontier: Vec<Vec<usize>> = (0..m).map(|i| vec![i]).collect();
+    for _ in 0..cfg.identity_product_depth {
+        subsets.extend(frontier.iter().cloned());
+        let mut next = Vec::new();
+        for s in &frontier {
+            let last = *s.last().expect("nonempty");
+            for j in last + 1..m {
+                let mut t = s.clone();
+                t.push(j);
+                next.push(t);
+            }
+        }
+        frontier = next;
+    }
+    subsets.sort_by_key(|s| s.len());
+
+    let mut matrix = Gf2Matrix::new(admissible.len());
+    let mut inserted: Vec<Anf> = Vec::new();
+    let mut found = Vec::new();
+    // Constant-1 column first so "≡ 1" relations surface as XOR-with-1.
+    let mut ones = vec![u64::MAX; words];
+    if !admissible.len().is_multiple_of(64) {
+        let last = words - 1;
+        ones[last] = (1u64 << (admissible.len() % 64)) - 1;
+    }
+    matrix.insert_bits(&ones);
+    inserted.push(Anf::one());
+    for s in &subsets {
+        let mut col = ones.clone();
+        for &bi in s {
+            for (w, v) in col.iter_mut().zip(&var_cols[bi]) {
+                *w &= v;
+            }
+        }
+        let term = Anf::from_monomial(Monomial::from_vars(s.iter().map(|&bi| basis[bi].0)));
+        match matrix.insert_bits(&col) {
+            Insert::Independent => inserted.push(term),
+            Insert::Dependent { combination } => {
+                let mut expr = term;
+                for idx in combination {
+                    expr.xor_assign(&inserted[idx]);
+                }
+                if !expr.is_zero() {
+                    found.push(FoundIdentity { expr });
+                }
+                inserted.push(Anf::zero()); // placeholder, never referenced
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_anf::VarPool;
+
+    fn setup_counter4() -> (VarPool, Vec<Var>, Vec<(Var, Anf)>) {
+        // The paper's §5.5 example: majority-of-7 first group {a1..a4}
+        // yields the elementary symmetric basis s1..s4 of a 4-bit counter.
+        let mut pool = VarPool::new();
+        let a: Vec<Var> = (0..4).map(|i| pool.input(&format!("a{}", i + 1), 0, i)).collect();
+        let e1 = Anf::parse("a1 ^ a2 ^ a3 ^ a4", &mut pool).unwrap();
+        let e2 = Anf::parse("a1*a2 ^ a1*a3 ^ a1*a4 ^ a2*a3 ^ a2*a4 ^ a3*a4", &mut pool).unwrap();
+        let e3 =
+            Anf::parse("a1*a2*a3 ^ a1*a2*a4 ^ a1*a3*a4 ^ a2*a3*a4", &mut pool).unwrap();
+        let e4 = Anf::parse("a1*a2*a3*a4", &mut pool).unwrap();
+        let s: Vec<Var> = (1..=4).map(|i| pool.derived(&format!("s{i}"), 1)).collect();
+        let basis = vec![
+            (s[0], e1),
+            (s[1], e2),
+            (s[2], e3),
+            (s[3], e4),
+        ];
+        (pool, a, basis)
+    }
+
+    #[test]
+    fn majority_identities_from_paper() {
+        // Paper finds: s3 ⊕ s1s2 = 0, s1s4 = 0, s2s4 = 0, s3s4 = 0.
+        let (mut pool, a, basis) = setup_counter4();
+        let store = IdentityStore::new();
+        let cfg = PdConfig::default();
+        let found = find_identities(&basis, &a, &store, &cfg);
+        let exprs: Vec<Anf> = found.iter().map(|f| f.expr.clone()).collect();
+        let expect = [
+            "s3 ^ s1*s2",
+            "s1*s4 ^ s4", // s1s4 = s4 (s4 ⇒ all ones ⇒ s1 = 0 actually: s4=1 ⇒ s1=0 ⇒ s1s4=0=..)
+        ];
+        let _ = expect;
+        // The substitution s3 = s1*s2 must be found:
+        let want_sub = Anf::parse("s3 ^ s1*s2", &mut pool).unwrap();
+        assert!(
+            exprs.contains(&want_sub),
+            "expected {:?} among {:?}",
+            want_sub,
+            exprs
+        );
+        // And the zero-products involving s4 must be derivable: every found
+        // identity must actually hold on all 16 assignments.
+        for f in &found {
+            for assign in 0..16u32 {
+                let val = |v: Var| -> bool {
+                    if let Some(j) = a.iter().position(|&g| g == v) {
+                        return assign >> j & 1 == 1;
+                    }
+                    let bi = basis.iter().position(|&(bv, _)| bv == v).unwrap();
+                    basis[bi].1.eval(|q| {
+                        let j = a.iter().position(|&g| g == q).unwrap();
+                        assign >> j & 1 == 1
+                    })
+                };
+                assert!(!f.expr.eval(val), "identity {:?} violated", f.expr);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_product_reduction() {
+        let mut pool = VarPool::new();
+        let az = Anf::parse("a*z", &mut pool).unwrap();
+        let mut store = IdentityStore::new();
+        store.add(az);
+        let x = Anf::parse("a*z*p ^ a*q ^ z", &mut pool).unwrap();
+        let reduced = store.reduce(&x);
+        assert_eq!(reduced, Anf::parse("a*q ^ z", &mut pool).unwrap());
+    }
+
+    #[test]
+    fn var_nullspace_from_identities() {
+        let mut pool = VarPool::new();
+        let az = Anf::parse("a*z", &mut pool).unwrap();
+        let mut store = IdentityStore::new();
+        store.add(az);
+        let a = pool.find("a").unwrap();
+        let z = pool.find("z").unwrap();
+        let n_a = store.var_nullspace(a);
+        assert_eq!(n_a.gens(), &[Anf::var(z)]);
+        let n_z = store.var_nullspace(z);
+        assert_eq!(n_z.gens(), &[Anf::var(a)]);
+    }
+
+    #[test]
+    fn restricted_assignments_shrink_search() {
+        // With constraint a*b = 0 the pair (1,1) is excluded, so a ⊕ b ⊕ ab
+        // ≡ a ⊕ b on admissible assignments: identity (s_or ⊕ s_xor) found.
+        let mut pool = VarPool::new();
+        let a = pool.input("a", 0, 0);
+        let b = pool.input("b", 0, 1);
+        let mut store = IdentityStore::new();
+        store.add(Anf::parse("a*b", &mut pool).unwrap());
+        let s_or = pool.derived("t_or", 1);
+        let s_xor = pool.derived("t_xor", 1);
+        let basis = vec![
+            (s_or, Anf::parse("a ^ b ^ a*b", &mut pool).unwrap()),
+            (s_xor, Anf::parse("a ^ b", &mut pool).unwrap()),
+        ];
+        let cfg = PdConfig::default();
+        let found = find_identities(&basis, &[a, b], &store, &cfg);
+        let want = Anf::var(s_or).xor(&Anf::var(s_xor));
+        assert!(found.iter().any(|f| f.expr == want), "got {found:?}");
+    }
+
+    #[test]
+    fn drop_vars_removes_stale_identities() {
+        let mut pool = VarPool::new();
+        let e = Anf::parse("a*b", &mut pool).unwrap();
+        let mut store = IdentityStore::new();
+        store.add(e);
+        let a = pool.find("a").unwrap();
+        let dropped: VarSet = [a].into_iter().collect();
+        store.drop_vars(&dropped);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn constant_one_identities() {
+        // Basis element that is constant 1 on all assignments: s ⊕ 1 = 0.
+        let mut pool = VarPool::new();
+        let a = pool.input("a", 0, 0);
+        let s = pool.derived("s", 1);
+        let tautology = Anf::parse("a ^ a ^ 1", &mut pool).unwrap();
+        let basis = vec![(s, tautology)];
+        let found = find_identities(&basis, &[a], &IdentityStore::new(), &PdConfig::default());
+        let want = Anf::var(s).xor(&Anf::one());
+        assert!(found.iter().any(|f| f.expr == want));
+    }
+}

@@ -1,0 +1,165 @@
+//! Basis minimisation using linear dependencies (paper §5.3).
+//!
+//! If the inner expressions `{X₁,…,Xₘ}` of the pair list are linearly
+//! dependent over GF(2) — say `X₁ = X₂ ⊕ … ⊕ Xₙ` — the pair `(X₁,Y₁)` can
+//! be dissolved into the others: `A = {(X₂,Y₁⊕Y₂), …, (Xₙ,Y₁⊕Yₙ), …}`,
+//! shrinking the basis by one. Symmetrically for the outer side, where a
+//! dependency `Y₁ = Y₂ ⊕ … ⊕ Yₙ` folds `X₁` into the other inners.
+//!
+//! The paper's LZD example: the raw basis `{V₀, P₀₀, P₀₁, V₀⊕P₀₀, V₀⊕P₀₁}`
+//! reduces to `{V₀, P₀₀, P₀₁}` exactly this way.
+
+use crate::pairs::PairList;
+use pd_anf::gf2::linear_dependencies;
+use pd_anf::Anf;
+
+/// Applies inner- and outer-side linear minimisation until the basis is
+/// independent on both sides. Returns the number of pairs eliminated.
+///
+/// The outer-side search performs exact Gaussian elimination over the
+/// outer polynomials; on the multi-million-term expressions of wide
+/// comparators that is both hopeless (the outers are wildly independent)
+/// and expensive, so it is skipped once the total outer size exceeds
+/// `outer_term_cap` (inner expressions are always tiny — at most `2^k`
+/// monomials — so the inner side always runs).
+pub fn minimize(pl: &mut PairList, outer_term_cap: usize) -> usize {
+    let mut eliminated = 0;
+    loop {
+        if apply_inner_dependency(pl) {
+            eliminated += 1;
+            pl.merge_fixpoint();
+            continue;
+        }
+        let outer_total: usize = pl.pairs.iter().map(|p| p.outer.term_count()).sum();
+        if outer_total <= outer_term_cap && apply_outer_dependency(pl) {
+            eliminated += 1;
+            pl.merge_fixpoint();
+            continue;
+        }
+        break;
+    }
+    eliminated
+}
+
+/// Finds one inner-side dependency and applies it. Returns `true` if a
+/// pair was eliminated.
+fn apply_inner_dependency(pl: &mut PairList) -> bool {
+    let inners: Vec<Anf> = pl.pairs.iter().map(|p| p.inner.clone()).collect();
+    let deps = linear_dependencies(&inners);
+    let Some((dep_idx, combo)) = deps.into_iter().next() else {
+        return false;
+    };
+    // X_dep = ⊕_{i∈combo} X_i  ⇒  remove pair dep, add Y_dep to each
+    // combo member's outer.
+    let dep = pl.pairs.remove(dep_idx);
+    for &i in &combo {
+        debug_assert!(i < dep_idx, "dependencies refer to earlier pairs");
+        pl.pairs[i].outer = pl.pairs[i].outer.xor(&dep.outer);
+    }
+    pl.pairs.retain(|p| !p.outer.is_zero() && !p.inner.is_zero());
+    true
+}
+
+/// Finds one outer-side dependency and applies it symmetrically.
+fn apply_outer_dependency(pl: &mut PairList) -> bool {
+    let outers: Vec<Anf> = pl.pairs.iter().map(|p| p.outer.clone()).collect();
+    let deps = linear_dependencies(&outers);
+    let Some((dep_idx, combo)) = deps.into_iter().next() else {
+        return false;
+    };
+    let dep = pl.pairs.remove(dep_idx);
+    for &i in &combo {
+        debug_assert!(i < dep_idx);
+        let p = &mut pl.pairs[i];
+        p.inner = p.inner.xor(&dep.inner);
+        p.nullspace = p.nullspace.product(&dep.nullspace);
+    }
+    pl.pairs.retain(|p| !p.outer.is_zero() && !p.inner.is_zero());
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_anf::{VarPool, VarSet};
+    use std::collections::HashMap;
+
+    fn pairlist(pool: &mut VarPool, src: &str, group: &[&str]) -> (PairList, Anf) {
+        let x = Anf::parse(src, pool).unwrap();
+        let g: VarSet = group.iter().map(|n| pool.find(n).unwrap()).collect();
+        let mut pl = PairList::split(&x, &g, &HashMap::new());
+        pl.merge_fixpoint();
+        (pl, x)
+    }
+
+    #[test]
+    fn merge_rules_already_collapse_shared_outers() {
+        // X = a·p ⊕ b·q ⊕ (a⊕b)·r: rule 2 groups by inner into
+        // (a, p⊕r), (b, q⊕r); inners are independent, so minimisation is a
+        // no-op and the expression is preserved.
+        let mut pool = VarPool::new();
+        let (mut pl, x) = pairlist(&mut pool, "a*p ^ b*q ^ a*r ^ b*r", &["a", "b"]);
+        assert_eq!(pl.pairs.len(), 2);
+        assert_eq!(minimize(&mut pl, 100_000), 0);
+        assert_eq!(pl.to_expr(), x, "minimisation must preserve the expression");
+    }
+
+    #[test]
+    fn paper_lzd_style_dependency() {
+        // The paper's §5.3 situation: inners {A, B, A⊕B} with distinct
+        // outers (this arises after rule-1 merges across selector classes,
+        // e.g. LZD's {V0, P00, P01, V0⊕P00, V0⊕P01}). Construct the pair
+        // list directly.
+        let mut pool = VarPool::new();
+        let a = Anf::parse("a", &mut pool).unwrap();
+        let b = Anf::parse("b", &mut pool).unwrap();
+        let (p, q, r) = (
+            Anf::parse("p", &mut pool).unwrap(),
+            Anf::parse("q", &mut pool).unwrap(),
+            Anf::parse("r", &mut pool).unwrap(),
+        );
+        let mut pl = PairList::default();
+        for (inner, outer) in [
+            (a.clone(), p),
+            (b.clone(), q),
+            (a.xor(&b), r),
+        ] {
+            pl.pairs.push(crate::pairs::Pair {
+                inner,
+                outer,
+                nullspace: pd_anf::NullSpace::empty(),
+            });
+        }
+        let x = pl.to_expr();
+        let removed = minimize(&mut pl, 100_000);
+        assert_eq!(removed, 1);
+        assert_eq!(pl.pairs.len(), 2);
+        assert_eq!(pl.to_expr(), x, "minimisation preserves the expression");
+    }
+
+    #[test]
+    fn outer_dependency_folds_inner() {
+        // X with outers {p, q, p⊕q}: outer-side dependency.
+        let mut pool = VarPool::new();
+        let (mut pl, x) = pairlist(
+            &mut pool,
+            "a*p ^ b*q ^ a*b*p ^ a*b*q",
+            &["a", "b"],
+        );
+        // pairs: (a,p), (b,q), (ab, p^q)
+        assert_eq!(pl.pairs.len(), 3);
+        let removed = minimize(&mut pl, 100_000);
+        assert_eq!(removed, 1);
+        assert_eq!(pl.pairs.len(), 2);
+        assert_eq!(pl.to_expr(), x);
+    }
+
+    #[test]
+    fn independent_basis_is_untouched() {
+        let mut pool = VarPool::new();
+        let (mut pl, x) = pairlist(&mut pool, "a*p ^ b*q", &["a", "b"]);
+        assert_eq!(minimize(&mut pl, 100_000), 0);
+        assert_eq!(pl.pairs.len(), 2);
+        assert_eq!(pl.to_expr(), x);
+    }
+}

@@ -1,0 +1,247 @@
+//! Theorem 1, constructively (paper §3, Fig. 4).
+//!
+//! The paper proves that any circuit with an *effective online algorithm*
+//! — one consuming input bits serially with a constant number of
+//! precomputed expressions carried between steps — has a hierarchical
+//! implementation built from leader expressions. This module implements
+//! the construction for the ubiquitous single-bit-state case (`c = 1`,
+//! exactly the situation drawn in Fig. 4):
+//!
+//! * each step contributes a *conditioned pair* `(f₀, f₁)` — the next
+//!   state assuming the incoming state is 0 or 1;
+//! * a block of consecutive steps composes its pairs; composition of
+//!   conditioned pairs is associative, so blocks combine in a balanced
+//!   tree (`(g₀,g₁) ∘ (f₀,f₁) = (mux(f₀,g₀,g₁), mux(f₁,g₀,g₁))`);
+//! * a parallel-prefix (Sklansky-style) tree then yields the state
+//!   *entering every step boundary* in logarithmic depth, from which
+//!   per-step outputs are computed.
+//!
+//! Applied to a ripple-carry adder this constructs a carry-lookahead
+//! structure; applied to an LSB-first comparator it builds the
+//! subtracter-like structure the paper's §6 says Progressive
+//! Decomposition discovers.
+
+use pd_anf::Anf;
+use pd_netlist::{Netlist, NodeId, Synthesizer};
+
+/// One online step: the conditioned next-state expressions over that
+/// step's input variables (state excluded).
+#[derive(Clone, Debug)]
+pub struct OnlineStep {
+    /// Next state when the incoming state is 0.
+    pub f0: Anf,
+    /// Next state when the incoming state is 1.
+    pub f1: Anf,
+}
+
+/// A conditioned pair of nodes in the netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CondPair {
+    v0: NodeId,
+    v1: NodeId,
+}
+
+/// Builds the hierarchical (parallel-prefix) implementation of an online
+/// algorithm and returns, for each step `i`, the node carrying the state
+/// *entering* step `i` (index 0 is the initial state), plus the final
+/// state as the last element. The returned vector has `steps.len() + 1`
+/// entries.
+///
+/// `initial` is the state before the first step. Leader synthesis is
+/// shared through `synth`, so callers can keep binding output logic to
+/// the returned state nodes.
+pub fn build_prefix_states(
+    nl: &mut Netlist,
+    synth: &mut Synthesizer,
+    steps: &[OnlineStep],
+    initial: bool,
+) -> Vec<NodeId> {
+    // Leaders of each step: the conditioned pair (Fig. 4's f/g values).
+    let leaves: Vec<CondPair> = steps
+        .iter()
+        .map(|s| CondPair {
+            v0: synth.emit(nl, &s.f0),
+            v1: synth.emit(nl, &s.f1),
+        })
+        .collect();
+    let n = leaves.len();
+    let identity_pair = |nl: &mut Netlist| CondPair {
+        v0: nl.constant(false),
+        v1: nl.constant(true),
+    };
+    let compose = |nl: &mut Netlist, first: CondPair, then: CondPair| CondPair {
+        v0: nl.mux(first.v0, then.v0, then.v1),
+        v1: nl.mux(first.v1, then.v0, then.v1),
+    };
+    // Segment tree of compositions: seg[d][i] composes the block of 2^d
+    // steps starting at i·2^d.
+    let mut seg: Vec<Vec<CondPair>> = vec![leaves.clone()];
+    while seg.last().expect("nonempty").len() > 1 {
+        let prev = seg.last().expect("nonempty");
+        let prev = prev.clone();
+        let mut next = Vec::with_capacity(prev.len() / 2 + 1);
+        let mut i = 0;
+        while i + 1 < prev.len() {
+            next.push(compose(nl, prev[i], prev[i + 1]));
+            i += 2;
+        }
+        if i < prev.len() {
+            next.push(prev[i]);
+        }
+        seg.push(next);
+    }
+    // prefixes[i] composes steps [0, i).
+    let mut prefixes: Vec<CondPair> = Vec::with_capacity(n + 1);
+    prefixes.push(identity_pair(nl));
+    for i in 1..=n {
+        let mut pair = identity_pair(nl);
+        let mut covered = 0usize;
+        // Greedily take the largest aligned power-of-two blocks.
+        while covered < i {
+            let remaining = i - covered;
+            let mut level = 0usize;
+            // Largest block size that is aligned at `covered` and fits.
+            while level + 1 < seg.len()
+                && (1usize << (level + 1)) <= remaining
+                && covered.is_multiple_of(1usize << (level + 1))
+            {
+                level += 1;
+            }
+            let idx = covered >> level;
+            pair = compose(nl, pair, seg[level][idx]);
+            covered += 1usize << level;
+        }
+        prefixes.push(pair);
+    }
+    let init = nl.constant(initial);
+    prefixes
+        .into_iter()
+        .map(|p| nl.mux(init, p.v0, p.v1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_anf::{Var, VarPool};
+    use pd_netlist::sim::check_equiv_anf;
+
+    /// Serial (ripple) adder as an online algorithm: state = carry,
+    /// step i consumes (a_i, b_i): f0 = a·b, f1 = a ∨ b.
+    fn adder_steps(pool: &mut VarPool, width: usize) -> (Vec<OnlineStep>, Vec<Var>, Vec<Var>) {
+        let a = pool.input_word("a", 0, width);
+        let b = pool.input_word("b", 1, width);
+        let steps = (0..width)
+            .map(|i| {
+                let ai = Anf::var(a[i]);
+                let bi = Anf::var(b[i]);
+                OnlineStep {
+                    f0: ai.and(&bi),
+                    f1: ai.or(&bi),
+                }
+            })
+            .collect();
+        (steps, a, b)
+    }
+
+    /// Reference carry expression c_{i+1} = maj(a_i, b_i, c_i).
+    fn carry_spec(a: &[Var], b: &[Var], upto: usize) -> Anf {
+        let mut c = Anf::zero();
+        for i in 0..upto {
+            let ai = Anf::var(a[i]);
+            let bi = Anf::var(b[i]);
+            c = ai.and(&bi).xor(&ai.xor(&bi).and(&c));
+        }
+        c
+    }
+
+    #[test]
+    fn prefix_states_match_ripple_carries() {
+        let mut pool = VarPool::new();
+        let (steps, a, b) = adder_steps(&mut pool, 6);
+        let mut nl = Netlist::new();
+        let mut synth = Synthesizer::new();
+        let states = build_prefix_states(&mut nl, &mut synth, &steps, false);
+        assert_eq!(states.len(), 7);
+        for (i, &s) in states.iter().enumerate() {
+            nl.set_output(&format!("c{i}"), s);
+        }
+        let spec: Vec<(String, Anf)> = (0..=6)
+            .map(|i| (format!("c{i}"), carry_spec(&a, &b, i)))
+            .collect();
+        assert_eq!(check_equiv_anf(&nl, &spec, 64, 17), None);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let mut pool = VarPool::new();
+        let (steps, _, _) = adder_steps(&mut pool, 32);
+        let mut nl = Netlist::new();
+        let mut synth = Synthesizer::new();
+        let states = build_prefix_states(&mut nl, &mut synth, &steps, false);
+        nl.set_output("cout", *states.last().unwrap());
+        let levels = nl.levels();
+        let depth = levels[states.last().unwrap().index()];
+        assert!(
+            depth <= 14,
+            "prefix construction should be logarithmic, got depth {depth}"
+        );
+    }
+
+    #[test]
+    fn parity_online() {
+        // Parity: f0 = x, f1 = ¬x. Final state = XOR of all bits.
+        let mut pool = VarPool::new();
+        let xs = pool.input_word("x", 0, 8);
+        let steps: Vec<OnlineStep> = xs
+            .iter()
+            .map(|&x| OnlineStep {
+                f0: Anf::var(x),
+                f1: Anf::var(x).not(),
+            })
+            .collect();
+        let mut nl = Netlist::new();
+        let mut synth = Synthesizer::new();
+        let states = build_prefix_states(&mut nl, &mut synth, &steps, false);
+        nl.set_output("parity", *states.last().unwrap());
+        let spec = vec![(
+            "parity".to_owned(),
+            Anf::xor_all(xs.iter().map(|&v| Anf::var(v)).collect::<Vec<_>>().iter()),
+        )];
+        assert_eq!(check_equiv_anf(&nl, &spec, 64, 23), None);
+    }
+
+    #[test]
+    fn comparator_online() {
+        // LSB-first A>B: state g; step i: g' = a·¬b ⊕ (a≡b)·g
+        // f0 = a·¬b ; f1 = a ∨ ¬b.
+        let mut pool = VarPool::new();
+        let a = pool.input_word("a", 0, 5);
+        let b = pool.input_word("b", 1, 5);
+        let steps: Vec<OnlineStep> = (0..5)
+            .map(|i| {
+                let ai = Anf::var(a[i]);
+                let nbi = Anf::var(b[i]).not();
+                OnlineStep {
+                    f0: ai.and(&nbi),
+                    f1: ai.or(&nbi),
+                }
+            })
+            .collect();
+        let mut nl = Netlist::new();
+        let mut synth = Synthesizer::new();
+        let states = build_prefix_states(&mut nl, &mut synth, &steps, false);
+        nl.set_output("gt", *states.last().unwrap());
+        // Spec: A > B in ANF, accumulated from the LSB side: at each step
+        // the higher bit decides unless equal.
+        let mut gt = Anf::zero();
+        for i in 0..5 {
+            let ai = Anf::var(a[i]);
+            let bi = Anf::var(b[i]);
+            let eq = ai.xor(&bi).not();
+            gt = ai.and(&bi.not()).xor(&eq.and(&gt));
+        }
+        let spec = vec![("gt".to_owned(), gt)];
+        assert_eq!(check_equiv_anf(&nl, &spec, 64, 29), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! Local size reduction of the pair list (paper §5.4).
+//!
+//! When two pairs nearly match — e.g. `(a, p⊕q⊕r⊕s⊕t)` and
+//! `(b, p⊕q⊕r⊕s)` — neither linear dependence nor merging applies, yet
+//! the exact rewrites
+//!
+//! * `(X₁,Y₁), (X₂,Y₂) → (X₁⊕X₂, Y₂), (X₁, Y₁⊕Y₂)` and
+//! * `(X₁,Y₁), (X₂,Y₂) → (X₁⊕X₂, Y₁), (X₂, Y₁⊕Y₂)`
+//!
+//! (both identities in the Boolean ring) can cut the literal count. The
+//! example above becomes `(a⊕b, p⊕q⊕r⊕s), (a, t)`. This pass greedily
+//! applies whichever variant helps until a local fixed point.
+
+use crate::pairs::{Pair, PairList};
+use pd_anf::Anf;
+
+/// Above this many terms, candidate pairs are pre-screened by sampling
+/// before the (expensive) exact XOR is computed.
+const PREFILTER_TERMS: usize = 10_000;
+
+/// Cheap probabilistic screen for huge outers: a beneficial rewrite needs
+/// `Y₁` and `Y₂` to share a large fraction of their terms; sample 16 terms
+/// of the smaller expression and test membership in the larger. No shared
+/// sample ⇒ overlap is almost certainly far too small to help.
+fn outers_plausibly_overlap(a: &Anf, b: &Anf) -> bool {
+    let (small, large) = if a.term_count() <= b.term_count() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let n = small.term_count();
+    if n == 0 {
+        return false;
+    }
+    let step = (n / 16).max(1);
+    small
+        .terms()
+        .step_by(step)
+        .take(16)
+        .any(|t| large.contains_term(t))
+}
+
+/// Greedy local size reduction; returns `(literals_before, literals_after)`.
+///
+/// Only rewrites that strictly reduce the combined literal count of the two
+/// touched pairs are applied, so the pass terminates.
+pub fn improve(pl: &mut PairList) -> (usize, usize) {
+    let before = pl.literal_count();
+    let mut changed = true;
+    let mut guard = 0usize;
+    while changed && guard < 10_000 {
+        changed = false;
+        'scan: for i in 0..pl.pairs.len() {
+            for j in 0..pl.pairs.len() {
+                if i == j {
+                    continue;
+                }
+                if let Some((pi, pj)) = try_rewrite(&pl.pairs[i], &pl.pairs[j]) {
+                    pl.pairs[i] = pi;
+                    pl.pairs[j] = pj;
+                    pl.pairs.retain(|p| !p.inner.is_zero() && !p.outer.is_zero());
+                    pl.merge_fixpoint();
+                    changed = true;
+                    guard += 1;
+                    break 'scan;
+                }
+            }
+        }
+    }
+    (before, pl.literal_count())
+}
+
+/// Tries the paper's rewrite on an ordered pair: replace
+/// `(X₁,Y₁),(X₂,Y₂)` by `(X₁⊕X₂, Y₁), (X₂, Y₁⊕Y₂)` when that shrinks the
+/// combined literal count. (Scanning ordered pairs covers the mirrored
+/// variant.)
+fn try_rewrite(p1: &Pair, p2: &Pair) -> Option<(Pair, Pair)> {
+    let cost = |p: &Pair| p.inner.literal_count() + p.outer.literal_count();
+    let old = cost(p1) + cost(p2);
+    // Acceptance is |X₁⊕X₂| + |Y₁⊕Y₂| < |X₁| + |Y₂| (literals). Before
+    // computing any XOR, prune with the cheap bound
+    // |Y₁⊕Y₂|_literals ≥ ||Y₁|−|Y₂)||_terms − 1 (every surviving term has
+    // at least 0 literals and at most one term is the constant).
+    let term_gap = p1
+        .outer
+        .term_count()
+        .abs_diff(p2.outer.term_count())
+        .saturating_sub(1);
+    if term_gap >= p1.inner.literal_count() + p2.outer.literal_count() {
+        return None;
+    }
+    if p1.outer.term_count().max(p2.outer.term_count()) > PREFILTER_TERMS
+        && !outers_plausibly_overlap(&p1.outer, &p2.outer)
+    {
+        return None;
+    }
+    let new_inner = p1.inner.xor(&p2.inner);
+    let new_outer = p1.outer.xor(&p2.outer);
+    // (X₁⊕X₂)·Y₁ ⊕ X₂·(Y₁⊕Y₂) = X₁Y₁ ⊕ X₂Y₂  (exact)
+    let a = Pair {
+        inner: new_inner,
+        outer: p1.outer.clone(),
+        nullspace: p1.nullspace.product(&p2.nullspace),
+    };
+    let b = Pair {
+        inner: p2.inner.clone(),
+        outer: new_outer,
+        nullspace: p2.nullspace.clone(),
+    };
+    let new = (a.inner.literal_count() + a.outer.literal_count())
+        + (b.inner.literal_count() + b.outer.literal_count());
+    if new < old {
+        Some((a, b))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_anf::{Anf, VarPool, VarSet};
+    use std::collections::HashMap;
+
+    #[test]
+    fn paper_example_from_section_5_4() {
+        // A = {(a, p⊕q⊕r⊕s⊕t), (b, p⊕q⊕r⊕s)}
+        // → {(a⊕b, p⊕q⊕r⊕s), (a, t)}
+        let mut pool = VarPool::new();
+        let x = Anf::parse(
+            "a*p ^ a*q ^ a*r ^ a*s ^ a*t ^ b*p ^ b*q ^ b*r ^ b*s",
+            &mut pool,
+        )
+        .unwrap();
+        let group: VarSet = [pool.find("a").unwrap(), pool.find("b").unwrap()]
+            .into_iter()
+            .collect();
+        let mut pl = PairList::split(&x, &group, &HashMap::new());
+        pl.merge_fixpoint();
+        assert_eq!(pl.pairs.len(), 2);
+        let (before, after) = improve(&mut pl);
+        assert!(after < before, "size must reduce: {before} -> {after}");
+        assert_eq!(pl.to_expr(), x, "rewrite is exact");
+        assert_eq!(pl.pairs.len(), 2);
+        // One of the pairs must now be the tiny (a, t).
+        let tiny = pl
+            .pairs
+            .iter()
+            .any(|p| p.inner.literal_count() + p.outer.literal_count() == 2);
+        assert!(tiny, "expected (a, t) in {:?}", pl.pairs);
+    }
+
+    #[test]
+    fn no_rewrite_when_nothing_shrinks() {
+        let mut pool = VarPool::new();
+        let x = Anf::parse("a*p ^ b*q", &mut pool).unwrap();
+        let group: VarSet = [pool.find("a").unwrap(), pool.find("b").unwrap()]
+            .into_iter()
+            .collect();
+        let mut pl = PairList::split(&x, &group, &HashMap::new());
+        pl.merge_fixpoint();
+        let (before, after) = improve(&mut pl);
+        assert_eq!(before, after);
+        assert_eq!(pl.pairs.len(), 2);
+    }
+
+    #[test]
+    fn preserves_expression_on_random_inputs() {
+        let mut pool = VarPool::new();
+        let sources = [
+            "a*p ^ a*q ^ b*p ^ b*q ^ b*r",
+            "a*p*q ^ b*p*q ^ a*r ^ b*s",
+            "a*b*p ^ a*q ^ b*q ^ a*b*q",
+        ];
+        for src in sources {
+            let x = Anf::parse(src, &mut pool).unwrap();
+            let group: VarSet = [pool.find("a").unwrap(), pool.find("b").unwrap()]
+                .into_iter()
+                .collect();
+            let mut pl = PairList::split(&x, &group, &HashMap::new());
+            pl.merge_fixpoint();
+            improve(&mut pl);
+            assert_eq!(pl.to_expr(), x, "size reduction broke {src}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Kernel and cokernel extraction (Brayton–McMullen).
+//!
+//! A *kernel* of a cover `f` is a cube-free quotient `f / c` for some
+//! cube `c` (its *cokernel*). Kernels are the multi-cube divisor
+//! candidates of algebraic factorisation: any common multi-cube divisor
+//! of two expressions is contained in the intersection of one kernel of
+//! each, so enumerating kernels is how the classical flow finds shared
+//! logic.
+
+use crate::cover::{Cover, Cube, Lit};
+use crate::divide::divide_cube;
+use std::collections::BTreeMap;
+
+/// A kernel together with the cokernel cube that produces it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KernelPair {
+    /// The cube `c` with `kernel = f / c`.
+    pub cokernel: Cube,
+    /// The cube-free quotient.
+    pub kernel: Cover,
+}
+
+/// Enumerates all kernels of `f` with their cokernels.
+///
+/// The cover itself (divided by its common cube) is the level-top
+/// kernel; single-cube covers have no kernels.
+pub fn kernels(f: &Cover) -> Vec<KernelPair> {
+    kernels_capped(f, usize::MAX)
+}
+
+/// Enumerates kernels, stopping after `cap` results.
+///
+/// Symmetric functions (such as the paper's majority benchmark, whose
+/// SOP has thousands of overlapping cubes) have combinatorially many
+/// kernels; the cap keeps candidate collection polynomial while still
+/// exposing plenty of divisors to the greedy extractor.
+pub fn kernels_capped(f: &Cover, cap: usize) -> Vec<KernelPair> {
+    let mut out = Vec::new();
+    if f.cube_count() < 2 || cap == 0 {
+        return out;
+    }
+    let cc = f.common_cube();
+    let (core, _) = divide_cube(f, &cc);
+    // The literal universe and its ranks are fixed once, at the top.
+    let ranks: BTreeMap<Lit, usize> = core
+        .lit_counts()
+        .keys()
+        .enumerate()
+        .map(|(i, &l)| (l, i))
+        .collect();
+    recurse(&core, &cc, 0, &ranks, cap, &mut out);
+    out
+}
+
+fn recurse(
+    g: &Cover,
+    cokernel: &Cube,
+    min_rank: usize,
+    ranks: &BTreeMap<Lit, usize>,
+    cap: usize,
+    out: &mut Vec<KernelPair>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if g.cube_count() > 1 {
+        out.push(KernelPair {
+            cokernel: cokernel.clone(),
+            kernel: g.clone(),
+        });
+    }
+    let counts = g.lit_counts();
+    for (&l, &count) in &counts {
+        if count < 2 {
+            continue;
+        }
+        let rank = ranks[&l];
+        if rank < min_rank {
+            continue;
+        }
+        // The largest cube dividing every cube of g that contains l.
+        let with_l: Vec<&Cube> = g.cubes().iter().filter(|c| c.contains(l)).collect();
+        let mut c = with_l[0].clone();
+        for cube in &with_l[1..] {
+            c = c.intersect(cube);
+        }
+        // If c contains a literal of smaller rank, this kernel was (or
+        // will be) produced from that literal's branch — skip the
+        // duplicate.
+        if c.lits().iter().any(|q| ranks[q] < rank) {
+            continue;
+        }
+        let (quotient, _) = divide_cube(g, &c);
+        let next_cok = cokernel
+            .mul(&c)
+            .expect("cokernel and kernel cube share no contradictory literals");
+        recurse(&quotient, &next_cok, rank + 1, ranks, cap, out);
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_anf::VarPool;
+
+    fn cover(pool: &mut VarPool, s: &str) -> Cover {
+        Cover::from_cubes(s.split('+').map(|part| {
+            let part = part.trim();
+            let mut lits = Vec::new();
+            let mut neg = false;
+            for ch in part.chars() {
+                if ch == '!' {
+                    neg = true;
+                    continue;
+                }
+                let name = ch.to_string();
+                let v = pool.find(&name).unwrap_or_else(|| pool.var_or_input(&name));
+                lits.push(Lit::new(v, !neg));
+                neg = false;
+            }
+            Cube::new(lits)
+        }))
+    }
+
+    fn kernel_set(pool: &mut VarPool, f: &str) -> Vec<KernelPair> {
+        let f = cover(pool, f);
+        kernels(&f)
+    }
+
+    #[test]
+    fn textbook_kernels() {
+        // De Micheli's example: f = ace + bce + de + g.
+        let mut pool = VarPool::new();
+        let ks = kernel_set(&mut pool, "ace + bce + de + g");
+        let expect_ab = cover(&mut pool, "a + b");
+        let expect_acbcd = cover(&mut pool, "ac + bc + d");
+        let expect_f = cover(&mut pool, "ace + bce + de + g");
+        let co_ce = cover(&mut pool, "ce").cubes()[0].clone();
+        let co_e = cover(&mut pool, "e").cubes()[0].clone();
+        let find = |co: &Cube| {
+            ks.iter()
+                .find(|k| &k.cokernel == co)
+                .map(|k| k.kernel.clone())
+        };
+        assert_eq!(find(&co_ce), Some(expect_ab));
+        assert_eq!(find(&co_e), Some(expect_acbcd));
+        // The whole (cube-free) cover is the trivial kernel with cokernel 1.
+        let trivial = ks
+            .iter()
+            .find(|k| k.cokernel.is_one())
+            .expect("trivial kernel present");
+        assert_eq!(trivial.kernel, expect_f);
+        assert_eq!(ks.len(), 3);
+    }
+
+    #[test]
+    fn every_kernel_is_cube_free() {
+        let mut pool = VarPool::new();
+        for f in ["ace + bce + de + g", "ab + ac + ad", "abc + abd + ae + cd"] {
+            for k in kernel_set(&mut pool, f) {
+                assert!(
+                    k.kernel.is_cube_free(),
+                    "kernel {:?} of {f} is not cube-free",
+                    k.kernel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_times_cokernel_stays_inside_f() {
+        let mut pool = VarPool::new();
+        let f = cover(&mut pool, "abc + abd + ae + cd");
+        for k in kernels(&f) {
+            let product = k.kernel.mul_cube(&k.cokernel);
+            for cube in product.cubes() {
+                assert!(f.contains_cube(cube), "cube {cube:?} not in f");
+            }
+        }
+    }
+
+    #[test]
+    fn common_cube_is_stripped_first() {
+        let mut pool = VarPool::new();
+        // f = xy(a + b): the only kernel is a+b with cokernel xy.
+        let ks = kernel_set(&mut pool, "xya + xyb");
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].kernel, cover(&mut pool, "a + b"));
+        assert_eq!(
+            Cover::from_cubes([ks[0].cokernel.clone()]),
+            cover(&mut pool, "xy")
+        );
+    }
+
+    #[test]
+    fn single_cube_and_constants_have_no_kernels() {
+        let mut pool = VarPool::new();
+        assert!(kernel_set(&mut pool, "abc").is_empty());
+        assert!(kernels(&Cover::zero()).is_empty());
+        assert!(kernels(&Cover::one()).is_empty());
+    }
+
+    #[test]
+    fn disjoint_minterm_covers_still_enumerate() {
+        // Parity-style disjoint covers have kernels, but extraction gains
+        // are what will be poor (tested at the network level).
+        let mut pool = VarPool::new();
+        let ks = kernel_set(&mut pool, "a!b + !ab");
+        // Only the trivial kernel: no literal occurs twice.
+        assert_eq!(ks.len(), 1);
+        assert!(ks[0].cokernel.is_one());
+    }
+
+    #[test]
+    fn cap_limits_output() {
+        let mut pool = VarPool::new();
+        let f = cover(&mut pool, "ab + ac + ad + bc + bd + cd");
+        let all = kernels(&f);
+        assert!(all.len() > 3);
+        let capped = kernels_capped(&f, 2);
+        assert_eq!(capped.len(), 2);
+        assert!(kernels_capped(&f, 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_kernels_are_pruned() {
+        let mut pool = VarPool::new();
+        let f = cover(&mut pool, "ace + bce + de + g");
+        let ks = kernels(&f);
+        let mut seen: Vec<(Cube, Cover)> = Vec::new();
+        for k in &ks {
+            let key = (k.cokernel.clone(), k.kernel.clone());
+            assert!(!seen.contains(&key), "duplicate kernel {key:?}");
+            seen.push(key);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Gate primitives of the technology-independent netlist.
+
+use pd_anf::Var;
+use std::fmt;
+
+/// Index of a node within a [`crate::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index into the node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A technology-independent gate.
+///
+/// Inputs always refer to earlier nodes, so node order is a topological
+/// order. Arity is at most three; wider operations are built as balanced
+/// trees by [`crate::Netlist`] helper methods.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Gate {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// A primary input carrying the given specification variable.
+    Input(Var),
+    /// Inverter.
+    Not(NodeId),
+    /// 2-input AND.
+    And(NodeId, NodeId),
+    /// 2-input OR.
+    Or(NodeId, NodeId),
+    /// 2-input XOR.
+    Xor(NodeId, NodeId),
+    /// 2:1 multiplexer: output = `if sel { hi } else { lo }`.
+    Mux {
+        /// Select input.
+        sel: NodeId,
+        /// Output when `sel = 0`.
+        lo: NodeId,
+        /// Output when `sel = 1`.
+        hi: NodeId,
+    },
+    /// 3-input majority (the carry function of a full adder).
+    Maj(NodeId, NodeId, NodeId),
+}
+
+impl Gate {
+    /// The fan-in nodes of this gate, in order.
+    pub fn fanins(&self) -> FaninIter {
+        let (buf, len) = match *self {
+            Gate::Const(_) | Gate::Input(_) => ([NodeId(0); 3], 0),
+            Gate::Not(a) => ([a, NodeId(0), NodeId(0)], 1),
+            Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => ([a, b, NodeId(0)], 2),
+            Gate::Mux { sel, lo, hi } => ([sel, lo, hi], 3),
+            Gate::Maj(a, b, c) => ([a, b, c], 3),
+        };
+        FaninIter { buf, len, pos: 0 }
+    }
+
+    /// Number of fan-in edges.
+    pub fn arity(&self) -> usize {
+        self.fanins().len
+    }
+
+    /// A short lowercase mnemonic (`and`, `xor`, …).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Gate::Const(false) => "const0",
+            Gate::Const(true) => "const1",
+            Gate::Input(_) => "input",
+            Gate::Not(_) => "not",
+            Gate::And(..) => "and",
+            Gate::Or(..) => "or",
+            Gate::Xor(..) => "xor",
+            Gate::Mux { .. } => "mux",
+            Gate::Maj(..) => "maj",
+        }
+    }
+}
+
+/// Iterator over a gate's fan-in nodes (returned by [`Gate::fanins`]).
+#[derive(Clone, Debug)]
+pub struct FaninIter {
+    buf: [NodeId; 3],
+    len: usize,
+    pos: usize,
+}
+
+impl Iterator for FaninIter {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        if self.pos < self.len {
+            self.pos += 1;
+            Some(self.buf[self.pos - 1])
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for FaninIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanins_in_order() {
+        let g = Gate::Mux {
+            sel: NodeId(1),
+            lo: NodeId(2),
+            hi: NodeId(3),
+        };
+        let got: Vec<u32> = g.fanins().map(|n| n.0).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(g.arity(), 3);
+        assert_eq!(Gate::Const(true).arity(), 0);
+        assert_eq!(Gate::Not(NodeId(0)).arity(), 1);
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(Gate::And(NodeId(0), NodeId(1)).mnemonic(), "and");
+        assert_eq!(Gate::Const(false).mnemonic(), "const0");
+    }
+}

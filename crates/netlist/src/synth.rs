@@ -1,0 +1,444 @@
+//! Multi-level synthesis of ANF expressions into gates.
+//!
+//! Progressive Decomposition produces *small* leader expressions (over at
+//! most `k` variables per block); turning each into gates well is what the
+//! paper delegates to Design Compiler's local optimisation. This module
+//! plays that role: a cost-driven recursive decomposition choosing, per
+//! subexpression, between
+//!
+//! * **algebraic factoring** `X = v·Q ⊕ R` on the most frequent variable,
+//! * **Shannon expansion** `X = v ? X|v=1 : X|v=0` (a mux), and
+//! * direct forms (XOR chains for linear parts, AND trees for monomials,
+//!   majority detection, complement peeling of the constant term),
+//!
+//! with memoisation so structure shared between outputs is built once.
+
+use crate::gate::NodeId;
+use crate::netlist::Netlist;
+use pd_anf::{Anf, Var};
+use std::collections::HashMap;
+
+/// Expressions larger than this skip Shannon-expansion cost probing (the
+/// factoring path alone is used), bounding synthesis time on the huge flat
+/// baseline expressions.
+const SHANNON_TERM_LIMIT: usize = 48;
+
+/// Expressions with larger supports only probe the most frequent variable
+/// instead of every support variable.
+const FULL_SEARCH_SUPPORT_LIMIT: usize = 12;
+
+/// Relative cost of a mux cell versus a two-input gate.
+const MUX_COST: f64 = 1.3;
+
+/// How a non-trivial expression is decomposed into gates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Decision {
+    /// `1 ⊕ rest`: synthesise `rest`, invert.
+    PeelOne,
+    /// Single monomial: AND tree.
+    Monomial,
+    /// All terms degree ≤ 1: XOR tree.
+    Linear,
+    /// `ab ⊕ bc ⊕ ca`: single MAJ gate.
+    Majority,
+    /// The OR of all support literals: balanced OR tree.
+    OrOfLiterals,
+    /// `v·Q ⊕ R` algebraic factoring.
+    Factor(Var),
+    /// `v ? f₁ : f₀` Shannon expansion (mux).
+    Shannon(Var),
+}
+
+/// Synthesises expressions into a [`Netlist`] with cross-call sharing.
+///
+/// # Examples
+///
+/// ```
+/// use pd_anf::{Anf, VarPool};
+/// use pd_netlist::{Netlist, Synthesizer};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pool = VarPool::new();
+/// let maj = Anf::parse("a*b ^ b*c ^ c*a", &mut pool)?;
+/// let mut nl = Netlist::new();
+/// let mut synth = Synthesizer::new();
+/// let node = synth.emit(&mut nl, &maj);
+/// nl.set_output("maj", node);
+/// assert!(nl.len() <= 5, "majority should map to a single MAJ gate");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Synthesizer {
+    /// Expression → node cache (shared subcircuits are built once).
+    memo: HashMap<Anf, NodeId>,
+    /// Variable → node bindings; defaults to primary inputs.
+    env: HashMap<Var, NodeId>,
+    /// Chosen decomposition and its estimated cost, per expression.
+    plan_memo: HashMap<Anf, (Decision, f64)>,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with no bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds variable `v` to an existing node instead of a primary input.
+    ///
+    /// Progressive Decomposition uses this to wire a block's group
+    /// variables to the leader outputs of earlier blocks.
+    pub fn bind(&mut self, v: Var, node: NodeId) {
+        self.env.insert(v, node);
+    }
+
+    fn node_for_var(&mut self, nl: &mut Netlist, v: Var) -> NodeId {
+        if let Some(&n) = self.env.get(&v) {
+            n
+        } else {
+            let n = nl.input(v);
+            self.env.insert(v, n);
+            n
+        }
+    }
+
+    /// Estimated implementation cost (≈ gate count) of `expr`.
+    fn cost(&mut self, expr: &Anf) -> f64 {
+        if expr.is_constant() || expr.as_literal().is_some() {
+            return 0.0;
+        }
+        self.plan(expr).1
+    }
+
+    /// Chooses (and caches) the cheapest decomposition for a non-trivial
+    /// expression.
+    fn plan(&mut self, expr: &Anf) -> (Decision, f64) {
+        if let Some(&p) = self.plan_memo.get(expr) {
+            return p;
+        }
+        let p = self.plan_uncached(expr);
+        self.plan_memo.insert(expr.clone(), p);
+        p
+    }
+
+    fn plan_uncached(&mut self, expr: &Anf) -> (Decision, f64) {
+        // Complement peel: 1 ⊕ rest is an inverter around rest.
+        if expr.terms().any(|t| t.is_one()) {
+            let c = 0.25 + self.cost(&expr.xor(&Anf::one()));
+            return (Decision::PeelOne, c);
+        }
+        if expr.term_count() == 1 {
+            return (Decision::Monomial, (expr.degree() - 1) as f64);
+        }
+        if expr.degree() <= 1 {
+            return (Decision::Linear, (expr.term_count() - 1) as f64);
+        }
+        if is_majority(expr) {
+            return (Decision::Majority, 1.0);
+        }
+        if is_or_of_literals(expr) {
+            let n = expr.support().len();
+            return (Decision::OrOfLiterals, (n - 1) as f64);
+        }
+        let support: Vec<Var> = expr.support().iter().collect();
+        let candidates: Vec<Var> = if support.len() <= FULL_SEARCH_SUPPORT_LIMIT {
+            support
+        } else {
+            vec![most_frequent_var(expr).expect("nonlinear expression has variables")]
+        };
+        let try_shannon =
+            expr.term_count() <= SHANNON_TERM_LIMIT && candidates.len() <= FULL_SEARCH_SUPPORT_LIMIT;
+        let mut best = (Decision::Factor(candidates[0]), f64::INFINITY);
+        for &v in &candidates {
+            let (q, r) = factor_out(expr, v);
+            if q.is_zero() {
+                continue; // v does not actually occur
+            }
+            let gate_cost =
+                f64::from(u8::from(!q.is_one())) + f64::from(u8::from(!r.is_zero()));
+            let c = gate_cost + self.cost(&q) + self.cost(&r);
+            if c < best.1 {
+                best = (Decision::Factor(v), c);
+            }
+            if try_shannon {
+                let f0 = expr.restrict(v, false);
+                let f1 = expr.restrict(v, true);
+                let c = MUX_COST + self.cost(&f0) + self.cost(&f1);
+                if c < best.1 {
+                    best = (Decision::Shannon(v), c);
+                }
+            }
+        }
+        best
+    }
+
+    /// Builds `expr` into `nl`, returning the output node.
+    pub fn emit(&mut self, nl: &mut Netlist, expr: &Anf) -> NodeId {
+        if expr.is_zero() {
+            return nl.constant(false);
+        }
+        if expr.is_one() {
+            return nl.constant(true);
+        }
+        if let Some(v) = expr.as_literal() {
+            return self.node_for_var(nl, v);
+        }
+        if let Some(&n) = self.memo.get(expr) {
+            return n;
+        }
+        let n = self.emit_uncached(nl, expr);
+        self.memo.insert(expr.clone(), n);
+        n
+    }
+
+    fn emit_uncached(&mut self, nl: &mut Netlist, expr: &Anf) -> NodeId {
+        match self.plan(expr).0 {
+            Decision::PeelOne => {
+                let inner = self.emit(nl, &expr.xor(&Anf::one()));
+                nl.not(inner)
+            }
+            Decision::Monomial => {
+                let term = expr.terms().next().expect("one term").clone();
+                let nodes: Vec<NodeId> =
+                    term.vars().map(|v| self.node_for_var(nl, v)).collect();
+                nl.and_many(&nodes)
+            }
+            Decision::Linear => {
+                let nodes: Vec<NodeId> = expr
+                    .terms()
+                    .map(|t| {
+                        let v = t.vars().next().expect("degree-1 term");
+                        self.node_for_var(nl, v)
+                    })
+                    .collect();
+                nl.xor_many(&nodes)
+            }
+            Decision::Majority => {
+                let vars: Vec<Var> = expr.support().iter().collect();
+                let (a, b, c) = (
+                    self.node_for_var(nl, vars[0]),
+                    self.node_for_var(nl, vars[1]),
+                    self.node_for_var(nl, vars[2]),
+                );
+                nl.maj(a, b, c)
+            }
+            Decision::OrOfLiterals => {
+                let nodes: Vec<NodeId> = expr
+                    .support()
+                    .iter()
+                    .map(|v| self.node_for_var(nl, v))
+                    .collect();
+                nl.or_many(&nodes)
+            }
+            Decision::Shannon(v) => {
+                let f0 = expr.restrict(v, false);
+                let f1 = expr.restrict(v, true);
+                let n0 = self.emit(nl, &f0);
+                let n1 = self.emit(nl, &f1);
+                let sel = self.node_for_var(nl, v);
+                nl.mux(sel, n0, n1)
+            }
+            Decision::Factor(v) => {
+                let (q, r) = factor_out(expr, v);
+                let nq = self.emit(nl, &q);
+                let nv = self.node_for_var(nl, v);
+                let prod = nl.and(nv, nq);
+                if r.is_zero() {
+                    prod
+                } else {
+                    let nr = self.emit(nl, &r);
+                    nl.xor(prod, nr)
+                }
+            }
+        }
+    }
+}
+
+/// Splits `expr = v·Q ⊕ R`, returning `(Q, R)`.
+fn factor_out(expr: &Anf, v: Var) -> (Anf, Anf) {
+    let mut q = Vec::new();
+    let mut r = Vec::new();
+    for t in expr.terms() {
+        if t.contains(v) {
+            q.push(t.without(v));
+        } else {
+            r.push(t.clone());
+        }
+    }
+    (Anf::from_terms(q), Anf::from_terms(r))
+}
+
+/// Returns the variable occurring in the most terms (ties → lowest index).
+fn most_frequent_var(expr: &Anf) -> Option<Var> {
+    let mut counts: HashMap<Var, usize> = HashMap::new();
+    for t in expr.terms() {
+        for v in t.vars() {
+            *counts.entry(v).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+        .map(|(v, _)| v)
+}
+
+/// Recognises `ab ⊕ bc ⊕ ca` over exactly three variables.
+fn is_majority(expr: &Anf) -> bool {
+    let support = expr.support();
+    if support.len() != 3 || expr.term_count() != 3 {
+        return false;
+    }
+    expr.terms().all(|t| t.degree() == 2)
+}
+
+/// Recognises the OR of all support literals (whose ANF is the XOR of all
+/// `2^n − 1` nonempty subset products — e.g. the LZD's `V` leaders), so it
+/// can be built as a balanced OR tree instead of a Shannon chain.
+fn is_or_of_literals(expr: &Anf) -> bool {
+    let support = expr.support();
+    let n = support.len();
+    if !(2..=10).contains(&n) || expr.term_count() != (1usize << n) - 1 {
+        return false;
+    }
+    let mut acc = Anf::zero();
+    for v in support.iter() {
+        acc = acc.or(&Anf::var(v));
+    }
+    acc == *expr
+}
+
+/// Synthesises a list of named outputs with sharing between them, binding
+/// all variables to primary inputs.
+pub fn synthesize_outputs(outputs: &[(String, Anf)]) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut synth = Synthesizer::new();
+    for (name, expr) in outputs {
+        let node = synth.emit(&mut nl, expr);
+        nl.set_output(name, node);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::check_equiv_anf;
+    use pd_anf::VarPool;
+
+    fn check(src: &str) -> (Netlist, usize) {
+        let mut pool = VarPool::new();
+        let expr = Anf::parse(src, &mut pool).unwrap();
+        let outputs = vec![("y".to_owned(), expr)];
+        let nl = synthesize_outputs(&outputs);
+        assert_eq!(
+            check_equiv_anf(&nl, &outputs, 16, 42),
+            None,
+            "synthesis of {src} must be equivalent"
+        );
+        let n = nl.len();
+        (nl, n)
+    }
+
+    #[test]
+    fn simple_forms() {
+        check("0");
+        check("1");
+        check("a");
+        check("a*b");
+        check("a ^ b ^ c");
+        check("1 ^ a*b");
+        check("a*b*c*d ^ 1");
+    }
+
+    #[test]
+    fn majority_uses_single_gate() {
+        let (nl, _) = check("a*b ^ b*c ^ c*a");
+        let majs = nl
+            .iter()
+            .filter(|(_, g)| matches!(g, crate::gate::Gate::Maj(..)))
+            .count();
+        assert_eq!(majs, 1);
+    }
+
+    #[test]
+    fn full_adder_sum_and_carry_share() {
+        let mut pool = VarPool::new();
+        let sum = Anf::parse("a ^ b ^ c", &mut pool).unwrap();
+        let carry = Anf::parse("a*b ^ b*c ^ c*a", &mut pool).unwrap();
+        let outputs = vec![("s".to_owned(), sum), ("co".to_owned(), carry)];
+        let nl = synthesize_outputs(&outputs);
+        assert_eq!(check_equiv_anf(&nl, &outputs, 8, 3), None);
+        // 3 inputs + 2 XOR + 1 MAJ = 6 nodes.
+        assert!(nl.len() <= 6, "got {} nodes", nl.len());
+    }
+
+    #[test]
+    fn factoring_beats_flat_expansion() {
+        // (a^b)(c^d) = 4 terms flat. Single-variable factoring yields
+        // a(c^d) ^ b(c^d) with the (c^d) XOR shared by hashing:
+        // 4 inputs + 1 xor + 2 and + 1 xor = 8 nodes (flat would be 11).
+        let (nl, n) = check("a*c ^ a*d ^ b*c ^ b*d");
+        let _ = nl;
+        assert!(n <= 8, "expected factored form, got {n} nodes");
+    }
+
+    #[test]
+    fn mux_pattern_uses_shannon() {
+        // b ⊕ sb ⊕ sc = mux(s, b, c): 3 inputs + 1 mux.
+        let (nl, n) = check("b ^ s*b ^ s*c");
+        let muxes = nl
+            .iter()
+            .filter(|(_, g)| matches!(g, crate::gate::Gate::Mux { .. }))
+            .count();
+        assert_eq!(muxes, 1, "Shannon expansion should produce one mux");
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn larger_random_expressions_are_equivalent() {
+        // Deterministic pseudo-random ANFs over 6 vars.
+        let mut pool = VarPool::new();
+        let vars: Vec<Var> = (0..6)
+            .map(|i| pool.input(&format!("x{i}"), 0, i))
+            .collect();
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..12 {
+            let mut terms = Vec::new();
+            for _ in 0..(next() % 10 + 1) {
+                let mask = next() % 64;
+                terms.push(pd_anf::Monomial::from_vars(
+                    (0..6).filter(|i| mask >> i & 1 == 1).map(|i| vars[i as usize]),
+                ));
+            }
+            let expr = Anf::from_terms(terms);
+            let outputs = vec![("y".to_owned(), expr)];
+            let nl = synthesize_outputs(&outputs);
+            assert_eq!(check_equiv_anf(&nl, &outputs, 4, 9), None);
+        }
+    }
+
+    #[test]
+    fn bind_redirects_variables() {
+        let mut pool = VarPool::new();
+        let a = pool.input("a", 0, 0);
+        let b = pool.input("b", 0, 1);
+        let s = pool.derived("s", 0);
+        let mut nl = Netlist::new();
+        let mut synth = Synthesizer::new();
+        // s is bound to a^b rather than a primary input.
+        let (na, nb) = (nl.input(a), nl.input(b));
+        let inner = nl.xor(na, nb);
+        synth.bind(s, inner);
+        let expr = Anf::var(s).and(&Anf::var(a));
+        let node = synth.emit(&mut nl, &expr);
+        nl.set_output("y", node);
+        let spec = vec![(
+            "y".to_owned(),
+            Anf::var(a).xor(&Anf::var(b)).and(&Anf::var(a)),
+        )];
+        assert_eq!(check_equiv_anf(&nl, &spec, 8, 5), None);
+    }
+}

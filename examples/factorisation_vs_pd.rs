@@ -1,0 +1,57 @@
+//! The paper's §2 argument on one circuit: hand the same 10-bit parity
+//! function to (a) direct SOP synthesis, (b) classical kernel extraction
+//! (`pd-factor`), and (c) Progressive Decomposition, and compare.
+//!
+//! Run with: `cargo run --release --example factorisation_vs_pd`
+
+use progressive_decomposition::arith::Parity;
+use progressive_decomposition::prelude::*;
+
+fn main() {
+    let p = Parity::new(10);
+    let spec = p.spec();
+    let lib = CellLibrary::umc130();
+
+    println!(
+        "parity-10: Reed–Muller form has {} literals; minterm SOP has {} cubes\n",
+        spec[0].1.literal_count(),
+        p.sop_cube_count()
+    );
+
+    // (a) The flat two-level description, synthesised as written.
+    let flat = p.sop_netlist();
+    println!("flat SOP          : {}", report(&flat, &lib));
+
+    // (b) Kernel extraction: the classical multi-level flow.
+    let mut fx_pool = p.pool.clone();
+    let mut network = FactorNetwork::from_sops(&[("p".to_owned(), p.sop())]);
+    let before = network.literal_count();
+    let stats = network.extract(&mut fx_pool, &ExtractConfig::default());
+    let factored = network.synthesize();
+    println!(
+        "kernel extraction : {}   ({} → {} SOP literals, {} divisors)",
+        report(&factored, &lib),
+        before,
+        stats.literals_after,
+        stats.rounds
+    );
+
+    // (c) Progressive Decomposition on the ring form.
+    let d = ProgressiveDecomposer::new(PdConfig::default()).decompose(p.pool.clone(), spec.clone());
+    let pd = d.to_netlist();
+    println!("progressive dec.  : {}", report(&pd, &lib));
+
+    // All three must compute parity (10 inputs — exhaustive check).
+    for (name, nl) in [("flat", &flat), ("factored", &factored), ("pd", &pd)] {
+        assert_eq!(
+            progressive_decomposition::netlist::sim::check_equiv_anf(nl, &spec, 64, 2024),
+            None,
+            "{name} netlist must match the spec"
+        );
+    }
+    println!("\nall three verified against the Reed–Muller specification ✓");
+    println!(
+        "\nkernel extraction shares Shannon cofactors but cannot emit XOR gates;\n\
+         Progressive Decomposition works in the Boolean ring where parity is linear."
+    );
+}

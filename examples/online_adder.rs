@@ -1,0 +1,59 @@
+//! Theorem 1 in action: an *online algorithm* (serial adder) turned into
+//! a hierarchical, logarithmic-depth circuit (the Fig. 4 construction).
+//!
+//! Run with: `cargo run --release --example online_adder`
+
+use progressive_decomposition::arith::Adder;
+use progressive_decomposition::core::online::{build_prefix_states, OnlineStep};
+use progressive_decomposition::prelude::*;
+
+fn main() {
+    let width = 32;
+    let adder = Adder::new(width);
+    let lib = CellLibrary::umc130();
+
+    // The serial adder's online step: carry' = ab if carry=0, a∨b if 1.
+    let steps: Vec<OnlineStep> = (0..width)
+        .map(|i| {
+            let a = Anf::var(adder.a[i]);
+            let b = Anf::var(adder.b[i]);
+            OnlineStep {
+                f0: a.and(&b),
+                f1: a.or(&b),
+            }
+        })
+        .collect();
+
+    let mut nl = Netlist::new();
+    let mut synth = Synthesizer::new();
+    let states = build_prefix_states(&mut nl, &mut synth, &steps, false);
+    for (i, &state) in states.iter().enumerate().take(width) {
+        let a = nl.input(adder.a[i]);
+        let b = nl.input(adder.b[i]);
+        let p = nl.xor(a, b);
+        let s = nl.xor(p, state);
+        nl.set_output(&format!("s{i}"), s);
+    }
+    nl.set_output(&format!("s{width}"), states[width]);
+
+    let prefix = report(&nl, &lib);
+    let ripple = report(&adder.rca_netlist(), &lib);
+    println!("{width}-bit adder");
+    println!("  ripple description      : {ripple}");
+    println!("  Theorem-1 prefix build  : {prefix}");
+
+    // Sanity: both compute a + b (sampled).
+    let av = progressive_decomposition::arith::words::random_operands(1, width, 64);
+    let bv = progressive_decomposition::arith::words::random_operands(2, width, 64);
+    let got = progressive_decomposition::arith::words::run_ints(
+        &nl,
+        &[&adder.a, &adder.b],
+        &[av.clone(), bv.clone()],
+        "s",
+        width + 1,
+    );
+    for lane in 0..64 {
+        assert_eq!(got[lane], av[lane] + bv[lane]);
+    }
+    println!("  verified on 64 random operand pairs ✓");
+}

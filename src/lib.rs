@@ -1,0 +1,57 @@
+//! # progressive-decomposition
+//!
+//! A Rust reproduction of **“Progressive Decomposition: A Heuristic to
+//! Structure Arithmetic Circuits”** (A. K. Verma, P. Brisk, P. Ienne —
+//! DAC 2007), including every substrate the paper's toolchain relied on:
+//!
+//! * [`anf`] — the Boolean-ring (Reed–Muller) expression engine,
+//! * [`core`] — the Progressive Decomposition heuristic itself,
+//! * [`netlist`] — gate networks, synthesis from ANF, simulation,
+//! * [`cells`] — a standard-cell library model, technology mapping and
+//!   load-aware static timing (the Design Compiler stand-in),
+//! * [`arith`] — the Table 1 benchmark circuits and manual baselines,
+//! * [`bdd`] — BDD/ZDD engines for exact equivalence checking and the
+//!   compact canonical ring representation of §7's future work,
+//! * [`factor`] — the algebraic-factorisation (kernel extraction)
+//!   baseline the paper's §2 positions as the state of the art.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use progressive_decomposition::prelude::*;
+//!
+//! // Describe a circuit in Reed–Muller (XOR-of-products) form…
+//! let mut pool = VarPool::new();
+//! let maj7 = pd_core::examples::majority_anf(&mut pool, 7);
+//!
+//! // …decompose it into hierarchical building blocks…
+//! let d = ProgressiveDecomposer::new(PdConfig::default())
+//!     .decompose(pool, vec![("maj".into(), maj7)]);
+//! assert!(d.check_equivalence(128, 0).is_none());
+//!
+//! // …and push it through the synthesis flow.
+//! let netlist = d.to_netlist();
+//! let report = report(&netlist, &CellLibrary::umc130());
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pd_anf as anf;
+pub use pd_arith as arith;
+pub use pd_bdd as bdd;
+pub use pd_cells as cells;
+pub use pd_core as core;
+pub use pd_factor as factor;
+pub use pd_netlist as netlist;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use pd_anf::{Anf, Monomial, NullSpace, TruthTable, Var, VarKind, VarPool, VarSet};
+    pub use pd_bdd::{interleaved_order, Bdd, Zdd};
+    pub use pd_cells::{report, AreaDelayReport, CellKind, CellLibrary};
+    pub use pd_core::{self, Decomposition, PdConfig, ProgressiveDecomposer, TraceEvent};
+    pub use pd_factor::{ExtractConfig, FactorNetwork};
+    pub use pd_netlist::{synthesize_outputs, Gate, Netlist, NodeId, Synthesizer};
+}
