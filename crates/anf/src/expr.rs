@@ -6,11 +6,46 @@
 //! of the decomposition is independent of how the input circuit was
 //! described, and expressions form a ring (the *Boolean ring*) under XOR
 //! and AND.
+//!
+//! ## Arithmetic kernel
+//!
+//! The ring operations sit on every hot path of the decomposer, so they
+//! carry dedicated fast paths for the dominant representation — every
+//! monomial [`Monomial::Small`], i.e. all variable indices below 128:
+//!
+//! * [`Anf::and`] multiplies via dense `u128` product keys (`a | b`),
+//!   normalised either by an unstable `u128` sort + parity scan (small
+//!   products) or by a hash parity map (large products), instead of
+//!   materialising and comparison-sorting `n·m` enum monomials;
+//! * [`Anf::xor_assign`] merges in place from the back of its own buffer
+//!   (one `resize`, no fresh allocation per call);
+//! * [`Anf::xor_all`] flattens all-Small operand lists to one key vector
+//!   and falls back to balanced tournament merging otherwise;
+//! * [`Anf::from_terms`] normalises all-Small term lists on raw keys.
+//!
+//! Setting the `PD_NAIVE_KERNEL` environment variable (checked once)
+//! routes every operation through the straightforward reference
+//! implementation — the `bench_runtime` binary uses this to report the
+//! fast-path speedup, and the `kernel_equivalence` property tests assert
+//! both paths agree monomial-for-monomial.
 
 use crate::monomial::Monomial;
 use crate::var::{Var, VarPool};
 use crate::varset::VarSet;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Returns `true` when `PD_NAIVE_KERNEL` is set: all ANF arithmetic then
+/// uses the reference (pre-optimisation) code paths. Read once, cached.
+pub fn naive_kernel() -> bool {
+    static NAIVE: OnceLock<bool> = OnceLock::new();
+    *NAIVE.get_or_init(|| std::env::var_os("PD_NAIVE_KERNEL").is_some())
+}
+
+/// Above this many products, [`Anf::and`] switches from sort-based
+/// normalisation to a hash parity map (see module docs).
+const AND_HASH_THRESHOLD: usize = 1 << 14;
 
 /// A Boolean-ring expression in canonical XOR-of-products form.
 ///
@@ -59,9 +94,47 @@ impl Anf {
     }
 
     /// Builds an expression from arbitrary terms, reducing duplicates mod 2.
+    ///
+    /// All-[`Monomial::Small`] term lists are normalised on raw `u128`
+    /// keys (unstable sort + parity scan) — no enum dispatch per
+    /// comparison.
     pub fn from_terms(mut terms: Vec<Monomial>) -> Self {
+        if !naive_kernel() && terms.iter().all(|t| t.as_small().is_some()) {
+            let keys: Vec<u128> = terms
+                .iter()
+                .map(|t| t.as_small().expect("checked all-small"))
+                .collect();
+            return Self::from_small_keys_unsorted(keys);
+        }
         terms.sort_unstable();
         Self::from_sorted_terms(terms)
+    }
+
+    /// Normalises a vector of `u128` monomial masks (any order, duplicates
+    /// allowed) into a canonical expression: sort, then cancel mod 2.
+    pub(crate) fn from_small_keys_unsorted(mut keys: Vec<u128>) -> Self {
+        keys.sort_unstable();
+        let mut terms: Vec<Monomial> = Vec::with_capacity(keys.len());
+        let mut i = 0;
+        while i < keys.len() {
+            let k = keys[i];
+            let mut j = i + 1;
+            while j < keys.len() && keys[j] == k {
+                j += 1;
+            }
+            if (j - i) % 2 == 1 {
+                terms.push(Monomial::from_mask(k));
+            }
+            i = j;
+        }
+        Anf { terms }
+    }
+
+    /// Returns `true` when every term is a [`Monomial::Small`]. Terms are
+    /// sorted with Small before Large, so checking the last one suffices.
+    #[inline]
+    fn all_small(&self) -> bool {
+        self.terms.last().is_none_or(|t| t.as_small().is_some())
     }
 
     /// Builds an expression from terms already in ascending order,
@@ -187,13 +260,79 @@ impl Anf {
         Anf { terms: out }
     }
 
-    /// In-place XOR.
+    /// In-place XOR, merging from the back of the existing buffer: one
+    /// `resize` (amortised by retained capacity), no fresh allocation per
+    /// call, and a pure append when the operands' term ranges are disjoint.
     pub fn xor_assign(&mut self, other: &Anf) {
-        *self = self.xor(other);
+        if other.terms.is_empty() {
+            return;
+        }
+        if self.terms.is_empty() {
+            self.terms.clear();
+            self.terms.extend_from_slice(&other.terms);
+            return;
+        }
+        if naive_kernel() {
+            *self = self.xor(other);
+            return;
+        }
+        if self.terms.last().expect("nonempty") < &other.terms[0] {
+            self.terms.extend_from_slice(&other.terms);
+            return;
+        }
+        let n = self.terms.len();
+        let m = other.terms.len();
+        // Reverse merge: slot `w-1` is always free because cancellations
+        // only ever widen the gap between the write and read cursors.
+        self.terms.resize(n + m, Monomial::one());
+        let (mut i, mut j, mut w) = (n, m, n + m);
+        while i > 0 && j > 0 {
+            match self.terms[i - 1].cmp(&other.terms[j - 1]) {
+                std::cmp::Ordering::Greater => {
+                    self.terms.swap(w - 1, i - 1);
+                    i -= 1;
+                    w -= 1;
+                }
+                std::cmp::Ordering::Less => {
+                    self.terms[w - 1] = other.terms[j - 1].clone();
+                    j -= 1;
+                    w -= 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i -= 1;
+                    j -= 1;
+                }
+            }
+        }
+        while j > 0 {
+            self.terms[w - 1] = other.terms[j - 1].clone();
+            j -= 1;
+            w -= 1;
+        }
+        if i > 0 {
+            if w > i {
+                for k in (0..i).rev() {
+                    w -= 1;
+                    self.terms.swap(w, k);
+                }
+            } else {
+                // w == i: the unread prefix already sits exactly below the
+                // merged region.
+                w = 0;
+            }
+        }
+        self.terms.drain(0..w);
     }
 
     /// AND (ring multiplication). Distributes over XOR with idempotent
     /// monomial products and mod-2 cancellation.
+    ///
+    /// When both operands are all-[`Monomial::Small`] the products are
+    /// dense `u128` keys (`a | b`); they are normalised by an unstable
+    /// key sort for up to [`AND_HASH_THRESHOLD`] products and by a hash
+    /// parity map beyond (the map is bounded by the number of *distinct*
+    /// products, which idempotence keeps far below `n·m` on the
+    /// structured expressions arising from arithmetic circuits).
     pub fn and(&self, other: &Anf) -> Anf {
         if self.is_zero() || other.is_zero() {
             return Anf::zero();
@@ -204,6 +343,9 @@ impl Anf {
         if other.is_one() {
             return self.clone();
         }
+        if !naive_kernel() && self.all_small() && other.all_small() {
+            return self.and_small(other);
+        }
         let mut products = Vec::with_capacity(self.terms.len() * other.terms.len());
         for a in &self.terms {
             for b in &other.terms {
@@ -213,10 +355,53 @@ impl Anf {
         Self::from_terms(products)
     }
 
+    /// The all-Small multiplication fast path; see [`Anf::and`].
+    fn and_small(&self, other: &Anf) -> Anf {
+        let key = |t: &Monomial| t.as_small().expect("all_small checked");
+        let n = self.terms.len();
+        let m = other.terms.len();
+        let products = n.saturating_mul(m);
+        if products <= AND_HASH_THRESHOLD {
+            let mut keys: Vec<u128> = Vec::with_capacity(products);
+            for a in &self.terms {
+                let ka = key(a);
+                for b in &other.terms {
+                    keys.push(ka | key(b));
+                }
+            }
+            return Self::from_small_keys_unsorted(keys);
+        }
+        let mut parity: HashMap<u128, bool> = HashMap::with_capacity(n.max(m) * 2);
+        for a in &self.terms {
+            let ka = key(a);
+            for b in &other.terms {
+                parity
+                    .entry(ka | key(b))
+                    .and_modify(|p| *p = !*p)
+                    .or_insert(true);
+            }
+        }
+        let keys: Vec<u128> = parity
+            .into_iter()
+            .filter_map(|(k, odd)| odd.then_some(k))
+            .collect();
+        Self::from_small_keys_unsorted(keys)
+    }
+
     /// Multiplies by a single monomial.
     pub fn mul_monomial(&self, m: &Monomial) -> Anf {
         if m.is_one() {
             return self.clone();
+        }
+        if !naive_kernel() {
+            if let (true, Some(mask)) = (self.all_small(), m.as_small()) {
+                let keys: Vec<u128> = self
+                    .terms
+                    .iter()
+                    .map(|t| t.as_small().expect("all_small checked") | mask)
+                    .collect();
+                return Self::from_small_keys_unsorted(keys);
+            }
         }
         Self::from_terms(self.terms.iter().map(|t| t.mul(m)).collect())
     }
@@ -259,16 +444,26 @@ impl Anf {
 
     /// Substitutes `replacement` for every occurrence of `v` and
     /// renormalises. `self = v·A ⊕ B  ↦  replacement·A ⊕ B`.
+    ///
+    /// Single pass: terms are only cloned into the quotient/rest split
+    /// when `v` actually occurs (the no-occurrence probe is free).
     pub fn substitute(&self, v: Var, replacement: &Anf) -> Anf {
-        let (with_v, rest): (Vec<_>, Vec<_>) =
-            self.terms.iter().cloned().partition(|t| t.contains(v));
-        if with_v.is_empty() {
+        if !self.contains_var(v) {
             return self.clone();
         }
+        let mut q: Vec<Monomial> = Vec::new();
+        let mut rest: Vec<Monomial> = Vec::new();
+        for t in &self.terms {
+            if t.contains(v) {
+                q.push(t.without(v));
+            } else {
+                rest.push(t.clone());
+            }
+        }
         // Two distinct terms can collapse after removing `v`; renormalise.
-        let mut q: Vec<Monomial> = with_v.iter().map(|t| t.without(v)).collect();
-        q.sort_unstable();
-        let quotient = Anf::from_sorted_terms(q);
+        let quotient = Anf::from_terms(q);
+        // `rest` is a subsequence of canonical terms: already sorted and
+        // duplicate-free.
         quotient.and(replacement).xor(&Anf { terms: rest })
     }
 
@@ -283,13 +478,91 @@ impl Anf {
         Self::from_terms(self.terms.iter().map(|t| t.map_vars(&f)).collect())
     }
 
-    /// XOR of many expressions.
+    /// XOR of many expressions (k-way merge).
+    ///
+    /// All-[`Monomial::Small`] operands are flattened into one `u128` key
+    /// vector and normalised in a single sort; mixed operands fall back to
+    /// balanced tournament merging of the sorted term lists, which keeps
+    /// the total work at `O(N log k)` instead of the `O(N·k)` of folding
+    /// `xor` left to right.
     pub fn xor_all<'a>(items: impl IntoIterator<Item = &'a Anf>) -> Anf {
-        let mut terms = Vec::new();
-        for it in items {
-            terms.extend(it.terms.iter().cloned());
+        let items: Vec<&Anf> = items.into_iter().collect();
+        if naive_kernel() {
+            let mut terms = Vec::new();
+            for it in &items {
+                terms.extend(it.terms.iter().cloned());
+            }
+            let mut out = terms;
+            out.sort_unstable();
+            return Self::from_sorted_terms(out);
         }
-        Self::from_terms(terms)
+        match items.len() {
+            0 => return Anf::zero(),
+            1 => return items[0].clone(),
+            _ => {}
+        }
+        if items.iter().all(|e| e.all_small()) {
+            let total: usize = items.iter().map(|e| e.terms.len()).sum();
+            let mut keys: Vec<u128> = Vec::with_capacity(total);
+            for e in &items {
+                keys.extend(e.terms.iter().map(|t| t.as_small().expect("all small")));
+            }
+            return Self::from_small_keys_unsorted(keys);
+        }
+        // Tournament of pairwise merges.
+        let mut round: Vec<Anf> = Vec::with_capacity(items.len().div_ceil(2));
+        let mut chunks = items.chunks_exact(2);
+        for pair in &mut chunks {
+            round.push(pair[0].xor(pair[1]));
+        }
+        if let [odd] = chunks.remainder() {
+            round.push((*odd).clone());
+        }
+        while round.len() > 1 {
+            let mut next = Vec::with_capacity(round.len().div_ceil(2));
+            let mut chunks = round.chunks_exact(2);
+            for pair in &mut chunks {
+                next.push(pair[0].xor(&pair[1]));
+            }
+            if let [odd] = chunks.remainder() {
+                next.push(odd.clone());
+            }
+            round = next;
+        }
+        round.pop().expect("nonempty round")
+    }
+
+    /// Read-only view of the canonical term list (for kernels that chunk
+    /// terms for parallel scans).
+    pub fn terms_slice(&self) -> &[Monomial] {
+        &self.terms
+    }
+
+    /// Literal count of `self ⊕ other` *without materialising the XOR*:
+    /// one merge pass over the sorted term lists, popcounting surviving
+    /// keys. Lets cost-model passes (e.g. §5.4 size reduction) price a
+    /// candidate rewrite and reject it with zero allocation.
+    pub fn xor_literal_count(&self, other: &Anf) -> usize {
+        let (mut i, mut j, mut lits) = (0, 0, 0usize);
+        while i < self.terms.len() && j < other.terms.len() {
+            match self.terms[i].cmp(&other.terms[j]) {
+                std::cmp::Ordering::Less => {
+                    lits += self.terms[i].degree();
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    lits += other.terms[j].degree();
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        lits += self.terms[i..].iter().map(Monomial::degree).sum::<usize>();
+        lits += other.terms[j..].iter().map(Monomial::degree).sum::<usize>();
+        lits
     }
 
     /// Pretty-prints with names from `pool`; terms joined by `^`,

@@ -316,9 +316,24 @@ impl AnfSpan {
 /// order: returns `(i, combination)` pairs meaning
 /// `exprs[i] = XOR of exprs[combination]` with all combination indices `< i`.
 pub fn linear_dependencies(exprs: &[Anf]) -> Vec<(usize, Vec<usize>)> {
+    linear_dependencies_of(exprs)
+}
+
+/// [`linear_dependencies`] over borrowed expressions — callers holding
+/// expressions inside larger structures (e.g. the decomposer's pair list)
+/// run one elimination pass without cloning a `Vec<Anf>` first.
+///
+/// Every combination references only *independent* insertion indices:
+/// pivot rows are created exclusively from independent inserts, so the
+/// reported dependencies remain simultaneously valid — removing all
+/// dependent indices and applying every combination in one batch is
+/// sound (this is what `pd_core::lindep` relies on).
+pub fn linear_dependencies_of<'a>(
+    exprs: impl IntoIterator<Item = &'a Anf>,
+) -> Vec<(usize, Vec<usize>)> {
     let mut span = AnfSpan::new();
     let mut out = Vec::new();
-    for (i, e) in exprs.iter().enumerate() {
+    for (i, e) in exprs.into_iter().enumerate() {
         if let Insert::Dependent { combination } = span.insert(e) {
             out.push((i, combination));
         }

@@ -17,6 +17,31 @@
 //! makes expressions a ring under XOR/AND, which is what all the linear
 //! algebra in this crate exploits.
 //!
+//! ## Kernel complexity
+//!
+//! Expressions are canonical sorted term vectors; monomials with all
+//! variable indices below 128 are single `u128` bitmasks
+//! ([`Monomial::Small`]), which is every term of every circuit the paper
+//! measures. On all-Small operands the kernel works on raw keys
+//! (see `expr` module docs for the dispatch rules):
+//!
+//! | operation | cost | notes |
+//! |---|---|---|
+//! | [`Anf::xor`] | `O(n + m)` | sorted merge, cancellation |
+//! | [`Anf::xor_assign`] | `O(n + m)` | in-place back-merge, no realloc |
+//! | [`Anf::xor_all`] | `O(N log k)` / `O(N log N)` | tournament / flat key sort |
+//! | [`Anf::and`] | `O(nm log(nm))` or `O(nm)` expected | key sort below 2¹⁴ products, hash parity map above |
+//! | [`Anf::xor_literal_count`] | `O(n + m)` | prices a XOR without building it |
+//! | [`Anf::substitute`] | one partition + `and` + `xor` | |
+//! | [`TruthTable::from_anf`]/[`TruthTable::to_anf`] | `O(t·d + 2ⁿ·n/64)` | word-level zeta transform |
+//!
+//! Large tables and scans parallelise through `pd-par` (worker count:
+//! `PD_THREADS`, default = available cores; results are identical to the
+//! sequential engine). `PD_NAIVE_KERNEL=1` routes every operation through
+//! the reference implementations — the `kernel_equivalence` property
+//! tests pin both paths to each other, and `bench_runtime` uses the flag
+//! to report speedups.
+//!
 //! ## Example
 //!
 //! ```
@@ -44,7 +69,7 @@ mod varset;
 pub mod gf2;
 pub mod nullspace;
 
-pub use expr::{Anf, DisplayAnf};
+pub use expr::{naive_kernel, Anf, DisplayAnf};
 pub use monomial::Monomial;
 pub use nullspace::{sum_contains, sum_membership, NullSpace, SumSplit};
 pub use parse::ParseAnfError;

@@ -89,6 +89,26 @@ impl Monomial {
         matches!(self, Small(0))
     }
 
+    /// The `u128` bitmask when all variable indices are below 128.
+    ///
+    /// This is the dense product key the arithmetic fast paths operate
+    /// on: `a.mul(b)` of two Small monomials is exactly
+    /// `Monomial::from_mask(a_mask | b_mask)`.
+    #[inline]
+    pub fn as_small(&self) -> Option<u128> {
+        match self {
+            Small(m) => Some(*m),
+            Large(_) => None,
+        }
+    }
+
+    /// Builds a Small monomial directly from its bitmask (bit *i* ⇔
+    /// `Var(i)`).
+    #[inline]
+    pub fn from_mask(mask: u128) -> Self {
+        Small(mask)
+    }
+
     /// Number of variables in the product.
     pub fn degree(&self) -> usize {
         match self {

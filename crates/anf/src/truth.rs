@@ -106,24 +106,108 @@ impl TruthTable {
 
     /// Builds the table of `expr` with inputs ordered as `vars`.
     ///
+    /// Runs in `O(|terms| · deg + 2ⁿ·n/64)` by setting one coefficient
+    /// bit per ANF term and applying the word-level zeta transform
+    /// ([`TruthTable::zeta_in_place`]) — instead of materialising one
+    /// `2ⁿ`-bit cube per term. Tables of [`TruthTable::PAR_WORDS`] words
+    /// or more run the transform's independent block updates on the
+    /// `pd-par` worker pool.
+    ///
     /// # Panics
     ///
     /// Panics if `expr` mentions a variable not in `vars`.
     pub fn from_anf(expr: &Anf, vars: &[Var]) -> Self {
-        let pos = |v: Var| -> usize {
-            vars.iter()
-                .position(|&q| q == v)
-                .unwrap_or_else(|| panic!("variable {v} not in truth-table ordering"))
-        };
-        let mut acc = Self::zero(vars.len());
-        for term in expr.terms() {
-            let mut cube = Self::ones(vars.len());
-            for v in term.vars() {
-                cube.and_assign(&Self::projection(vars.len(), pos(v)));
+        if crate::expr::naive_kernel() {
+            // Reference path: one 2ⁿ-bit cube per term.
+            let pos = |v: Var| -> usize {
+                vars.iter()
+                    .position(|&q| q == v)
+                    .unwrap_or_else(|| panic!("variable {v} not in truth-table ordering"))
+            };
+            let mut acc = Self::zero(vars.len());
+            for term in expr.terms() {
+                let mut cube = Self::ones(vars.len());
+                for v in term.vars() {
+                    cube.and_assign(&Self::projection(vars.len(), pos(v)));
+                }
+                acc.xor_assign(&cube);
             }
-            acc.xor_assign(&cube);
+            return acc;
         }
-        acc
+        let mut t = Self::zero(vars.len());
+        let by_var: std::collections::HashMap<Var, usize> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        for term in expr.terms() {
+            let mut idx = 0usize;
+            for v in term.vars() {
+                let pos = by_var
+                    .get(&v)
+                    .unwrap_or_else(|| panic!("variable {v} not in truth-table ordering"));
+                idx |= 1 << pos;
+            }
+            t.bits[idx >> 6] ^= 1 << (idx & 63);
+        }
+        t.zeta_in_place();
+        t
+    }
+
+    /// Word count at which the zeta transform goes parallel (2¹⁴ words =
+    /// a 20-variable table; below that thread start-up dominates).
+    pub const PAR_WORDS: usize = 1 << 14;
+
+    /// In-place XOR zeta transform over the subset lattice:
+    /// `f[S ∪ {j}] ^= f[S]` for every variable `j`.
+    ///
+    /// Maps ANF coefficients to truth-table values (the value at
+    /// assignment `S` is the XOR of the coefficients of all `T ⊆ S`) and,
+    /// being an involution over GF(2), equally maps values back to
+    /// coefficients — [`TruthTable::from_anf`] and [`TruthTable::to_anf`]
+    /// are the same butterfly. Variables 0–5 are in-word mask shifts;
+    /// higher variables XOR whole word blocks, which is what
+    /// parallelises.
+    fn zeta_in_place(&mut self) {
+        const IN_WORD_MASKS: [u64; 6] = [
+            0x5555_5555_5555_5555,
+            0x3333_3333_3333_3333,
+            0x0f0f_0f0f_0f0f_0f0f,
+            0x00ff_00ff_00ff_00ff,
+            0x0000_ffff_0000_ffff,
+            0x0000_0000_ffff_ffff,
+        ];
+        let n = self.n_vars;
+        let parallel = self.bits.len() >= Self::PAR_WORDS && pd_par::max_threads() > 1;
+        for (j, &mask) in IN_WORD_MASKS.iter().enumerate().take(n.min(6)) {
+            let shift = 1u32 << j;
+            let apply = |words: &mut [u64]| {
+                for w in words {
+                    *w ^= (*w & mask) << shift;
+                }
+            };
+            if parallel {
+                pd_par::par_apply_mut(&mut self.bits, 1, |_, chunk| apply(chunk));
+            } else {
+                apply(&mut self.bits);
+            }
+        }
+        for j in 6..n {
+            let d = 1usize << (j - 6);
+            let apply = |words: &mut [u64]| {
+                for block in words.chunks_mut(2 * d) {
+                    let (lo, hi) = block.split_at_mut(d);
+                    for (h, l) in hi.iter_mut().zip(lo) {
+                        *h ^= *l;
+                    }
+                }
+            };
+            if parallel {
+                pd_par::par_apply_mut(&mut self.bits, 2 * d, |_, chunk| apply(chunk));
+            } else {
+                apply(&mut self.bits);
+            }
+        }
     }
 
     /// Number of variables.
@@ -209,25 +293,24 @@ impl TruthTable {
 
     /// Converts back to canonical ANF via the Möbius transform.
     ///
+    /// Over GF(2) the Möbius transform *is* the zeta transform
+    /// (an involution), so this runs the same word-level butterfly as
+    /// [`TruthTable::from_anf`] — `O(2ⁿ·n/64)` words instead of a
+    /// bit-at-a-time `Vec<bool>` pass — then reads the surviving
+    /// coefficient bits off as monomials.
+    ///
     /// `vars` supplies the variable for each input position and must have
     /// length [`TruthTable::n_vars`].
     pub fn to_anf(&self, vars: &[Var]) -> Anf {
         assert_eq!(vars.len(), self.n_vars);
-        // Fast in-place Möbius (zeta over GF(2)): for each variable j,
-        // f[S ∪ {j}] ^= f[S].
-        let n = self.len();
-        let mut f: Vec<bool> = (0..n).map(|i| self.get(i)).collect();
-        for j in 0..self.n_vars {
-            let bit = 1usize << j;
-            for s in 0..n {
-                if s & bit != 0 {
-                    f[s] ^= f[s ^ bit];
-                }
-            }
-        }
+        let mut coeffs = self.clone();
+        coeffs.zeta_in_place();
         let mut terms = Vec::new();
-        for (s, &coeff) in f.iter().enumerate() {
-            if coeff {
+        for (wi, &word) in coeffs.bits.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let s = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
                 terms.push(Monomial::from_vars(
                     (0..self.n_vars).filter(|j| s >> j & 1 == 1).map(|j| vars[j]),
                 ));

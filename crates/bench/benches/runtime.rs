@@ -17,13 +17,68 @@ fn bench_anf_ops(c: &mut Criterion) {
     c.bench_function("anf/xor_4k_terms", |b| {
         b.iter(|| std::hint::black_box(carry.xor(s5)))
     });
+    c.bench_function("anf/xor_assign_4k_terms", |b| {
+        b.iter_batched(
+            || carry.clone(),
+            |mut acc| {
+                acc.xor_assign(s5);
+                acc
+            },
+            BatchSize::LargeInput,
+        )
+    });
     c.bench_function("anf/and_small_big", |b| {
         b.iter(|| std::hint::black_box(s5.and(&spec[2].1)))
+    });
+    let all: Vec<&pd_anf::Anf> = spec.iter().map(|(_, e)| e).collect();
+    c.bench_function("anf/xor_all_outputs", |b| {
+        b.iter(|| std::hint::black_box(pd_anf::Anf::xor_all(all.iter().copied())))
     });
     let m = Majority::new(15);
     let maj = &m.spec()[0].1;
     c.bench_function("anf/eval64_6435_terms", |b| {
         b.iter(|| std::hint::black_box(maj.eval64(|v| u64::from(v.0) * 0x9e37)))
+    });
+    // The rewrite primitive of the main loop: replace a variable by a
+    // two-literal leader expression and renormalise.
+    let mut pool = m.pool.clone();
+    let p = pool.derived("bench_p", 1);
+    let q = pool.derived("bench_q", 1);
+    let replacement = pd_anf::Anf::var(p).xor(&pd_anf::Anf::var(q));
+    let v0 = m.bits[0];
+    c.bench_function("anf/substitute_maj15", |b| {
+        b.iter(|| std::hint::black_box(maj.substitute(v0, &replacement)))
+    });
+}
+
+fn bench_pairs_split(c: &mut Criterion) {
+    use std::collections::HashMap;
+    // The findBasis entry point (§5.2): group the spec's terms by their
+    // group-variable part. Measured on maj15 (6435 terms) and the 12-bit
+    // LZD (61k literals across outputs combined into one expression).
+    let m = Majority::new(15);
+    let maj = &m.spec()[0].1;
+    let group4: pd_anf::VarSet = m.bits[..4].iter().copied().collect();
+    c.bench_function("pairs/split_maj15_k4", |b| {
+        b.iter(|| {
+            std::hint::black_box(pd_core::pairs::PairList::split(
+                maj,
+                &group4,
+                &HashMap::new(),
+            ))
+        })
+    });
+    let lzd = Lzd::new(12);
+    let combined = pd_anf::Anf::xor_all(lzd.spec().iter().map(|(_, e)| e).collect::<Vec<_>>());
+    let group: pd_anf::VarSet = lzd.bits[..4].iter().copied().collect();
+    c.bench_function("pairs/split_lzd12_k4", |b| {
+        b.iter(|| {
+            std::hint::black_box(pd_core::pairs::PairList::split(
+                &combined,
+                &group,
+                &HashMap::new(),
+            ))
+        })
     });
 }
 
@@ -110,6 +165,7 @@ fn bench_factorisation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_anf_ops,
+    bench_pairs_split,
     bench_decompose,
     bench_flow,
     bench_verify,

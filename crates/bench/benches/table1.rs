@@ -9,8 +9,8 @@ fn main() {
     };
     let rows = pd_bench::table1(&opts);
     println!("{}", pd_bench::print_rows(&rows));
-    if let Ok(json) = serde_json::to_string_pretty(&rows) {
-        let _ = std::fs::write("target/table1.json", json);
+    let json = pd_bench::rows_to_json(&rows);
+    if std::fs::write("target/table1.json", json).is_ok() {
         println!("rows written to target/table1.json");
     }
     assert!(

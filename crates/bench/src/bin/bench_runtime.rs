@@ -1,0 +1,62 @@
+//! `bench_runtime` — the machine-readable perf tracker.
+//!
+//! Runs the decompose + kernel cases of `pd_bench::runtime`, prints a
+//! table, and writes `BENCH_RUNTIME.json` (case → median wall time,
+//! literal counts) so the engine's perf trajectory is recorded from this
+//! PR onward.
+//!
+//! ```text
+//! USAGE: bench_runtime [--reps N] [--quick] [--out PATH]
+//!
+//!   --reps N    repetitions per case (default 5; median reported)
+//!   --quick     skip the slowest decompose case (CI smoke mode)
+//!   --out PATH  output path (default BENCH_RUNTIME.json)
+//!
+//! ENVIRONMENT:
+//!   PD_NAIVE_KERNEL=1  measure the reference (pre-optimisation) ANF
+//!                      kernel; recorded in the JSON as "kernel": "naive"
+//!   PD_THREADS=N       worker threads for the parallel stages
+//! ```
+
+use pd_bench::runtime::{print_table, run, to_json, RuntimeOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = RuntimeOptions::default();
+    let mut out_path = String::from("BENCH_RUNTIME.json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--reps" => {
+                i += 1;
+                opts.reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a positive integer"));
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| die("--out needs a path"));
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    let results = run(&opts);
+    print!("{}", print_table(&results));
+    let json = to_json(&results, &opts);
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+    println!(
+        "kernel={} threads={} -> {out_path}",
+        pd_bench::runtime::kernel_mode(),
+        pd_par::max_threads()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_runtime: {msg}");
+    eprintln!("usage: bench_runtime [--reps N] [--quick] [--out PATH]");
+    std::process::exit(2)
+}

@@ -26,7 +26,9 @@
 pub mod factorisation;
 pub mod figures;
 pub mod futurework;
+pub mod json;
+pub mod runtime;
 pub mod table1;
 
 pub use factorisation::{factorisation_rows, print_fx_rows, FxRow};
-pub use table1::{print_rows, table1, Row, Table1Options};
+pub use table1::{print_rows, rows_to_json, table1, Row, Table1Options};

@@ -1,0 +1,271 @@
+//! Machine-readable runtime measurements (`BENCH_RUNTIME.json`).
+//!
+//! The `bench_runtime` binary in `src/bin` drives this module: every case
+//! is timed for a configurable number of repetitions and the *median*
+//! wall time is reported, together with literal counts so result quality
+//! is tracked alongside speed. The JSON artefact is the perf trajectory
+//! of the engine from PR 1 onward — CI emits it on every run.
+//!
+//! Set `PD_NAIVE_KERNEL=1` to route all ANF arithmetic through the
+//! reference (pre-optimisation) paths; the recorded `kernel` field then
+//! says `"naive"`, which is how before/after comparisons are produced
+//! from a single binary.
+
+use crate::json::Json;
+use pd_anf::{Anf, VarPool};
+use pd_arith::{Adder, Counter, Lzd, Majority};
+use pd_core::pairs::PairList;
+use pd_core::{PdConfig, ProgressiveDecomposer};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One timed case.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Case name, e.g. `decompose/maj15` or `kernel/and_small_big`.
+    pub name: String,
+    /// Median wall time over all repetitions, milliseconds.
+    pub median_ms: f64,
+    /// Fastest repetition, milliseconds.
+    pub min_ms: f64,
+    /// Number of repetitions timed.
+    pub reps: usize,
+    /// Specification literal count (decompose cases).
+    pub literals_before: Option<usize>,
+    /// Output literal count after decomposition (decompose cases).
+    pub literals_after: Option<usize>,
+    /// Blocks in the produced hierarchy (decompose cases).
+    pub blocks: Option<usize>,
+}
+
+/// Knobs for a measurement run.
+#[derive(Clone, Debug)]
+pub struct RuntimeOptions {
+    /// Repetitions per case (median reported). Default 5.
+    pub reps: usize,
+    /// Skip the slowest decompose cases (CI smoke mode).
+    pub quick: bool,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            reps: 5,
+            quick: false,
+        }
+    }
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> (Duration, Duration) {
+    f(); // warm-up
+    let mut samples: Vec<Duration> = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed());
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], samples[0])
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+type Case = (&'static str, VarPool, Vec<(String, Anf)>);
+
+fn decompose_cases(quick: bool) -> Vec<Case> {
+    let mut cases: Vec<Case> = vec![
+        ("decompose/maj7", Majority::new(7).pool.clone(), Majority::new(7).spec()),
+        ("decompose/lzd12", Lzd::new(12).pool.clone(), Lzd::new(12).spec()),
+        (
+            "decompose/counter12",
+            Counter::new(12).pool.clone(),
+            Counter::new(12).spec(),
+        ),
+        ("decompose/maj15", Majority::new(15).pool.clone(), Majority::new(15).spec()),
+    ];
+    if !quick {
+        cases.push((
+            "decompose/adder10",
+            Adder::new(10).pool.clone(),
+            Adder::new(10).spec(),
+        ));
+    }
+    cases
+}
+
+/// Runs every case and returns the measurements.
+pub fn run(opts: &RuntimeOptions) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for (name, pool, spec) in decompose_cases(opts.quick) {
+        let literals_before: usize = spec.iter().map(|(_, e)| e.literal_count()).sum();
+        let mut last: Option<(usize, usize)> = None;
+        let (median, min) = time_reps(opts.reps, || {
+            let d = ProgressiveDecomposer::new(PdConfig::default())
+                .decompose(pool.clone(), spec.clone());
+            let after: usize = d.outputs.iter().map(|(_, e)| e.literal_count()).sum();
+            last = Some((after, d.blocks.len()));
+        });
+        let (after, blocks) = last.expect("at least one rep ran");
+        out.push(Measurement {
+            name: name.to_string(),
+            median_ms: ms(median),
+            min_ms: ms(min),
+            reps: opts.reps,
+            literals_before: Some(literals_before),
+            literals_after: Some(after),
+            blocks: Some(blocks),
+        });
+    }
+    out.extend(kernel_cases(opts));
+    out
+}
+
+/// Micro benchmarks of the ANF kernel and the pair-list split.
+fn kernel_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let mut push = |name: &str, reps: usize, f: &mut dyn FnMut()| {
+        let (median, min) = time_reps(reps, f);
+        out.push(Measurement {
+            name: name.to_string(),
+            median_ms: ms(median),
+            min_ms: ms(min),
+            reps,
+            literals_before: None,
+            literals_after: None,
+            blocks: None,
+        });
+    };
+    let reps = opts.reps.max(3);
+    let adder = Adder::new(12);
+    let spec = adder.spec();
+    let carry = &spec.last().expect("adder outputs").1;
+    let s5 = &spec[5].1;
+    let s2 = &spec[2].1;
+    push("kernel/and_small_big", reps, &mut || {
+        std::hint::black_box(s5.and(s2));
+    });
+    push("kernel/xor_terms", reps, &mut || {
+        std::hint::black_box(carry.xor(s5));
+    });
+    push("kernel/xor_assign", reps, &mut || {
+        let mut acc = carry.clone();
+        acc.xor_assign(s5);
+        std::hint::black_box(acc);
+    });
+    let all: Vec<&Anf> = spec.iter().map(|(_, e)| e).collect();
+    push("kernel/xor_all_outputs", reps, &mut || {
+        std::hint::black_box(Anf::xor_all(all.iter().copied()));
+    });
+    let m = Majority::new(15);
+    let maj = &m.spec()[0].1;
+    let v0 = m.bits[0];
+    let mut pool = m.pool.clone();
+    let replacement = {
+        let p = pool.derived("bench_p", 1);
+        let q = pool.derived("bench_q", 1);
+        Anf::var(p).xor(&Anf::var(q))
+    };
+    push("kernel/substitute_maj15", reps, &mut || {
+        std::hint::black_box(maj.substitute(v0, &replacement));
+    });
+    let group: pd_anf::VarSet = m.bits[..4].iter().copied().collect();
+    push("pairs/split_maj15", reps, &mut || {
+        std::hint::black_box(PairList::split(maj, &group, &HashMap::new()));
+    });
+    let vars = &m.bits;
+    push("kernel/truth_from_anf_maj15", reps, &mut || {
+        std::hint::black_box(pd_anf::TruthTable::from_anf(maj, vars));
+    });
+    out
+}
+
+/// Which kernel the process is running (`fast` unless `PD_NAIVE_KERNEL`).
+pub fn kernel_mode() -> &'static str {
+    if pd_anf::naive_kernel() {
+        "naive"
+    } else {
+        "fast"
+    }
+}
+
+/// Serialises measurements as the `BENCH_RUNTIME.json` document.
+pub fn to_json(results: &[Measurement], opts: &RuntimeOptions) -> String {
+    let cases: Vec<Json> = results
+        .iter()
+        .map(|m| {
+            let mut fields = vec![
+                ("name", Json::from(m.name.as_str())),
+                ("median_ms", Json::from(m.median_ms)),
+                ("min_ms", Json::from(m.min_ms)),
+                ("reps", Json::from(m.reps)),
+            ];
+            if let Some(b) = m.literals_before {
+                fields.push(("literals_before", Json::from(b)));
+            }
+            if let Some(a) = m.literals_after {
+                fields.push(("literals_after", Json::from(a)));
+            }
+            if let Some(bl) = m.blocks {
+                fields.push(("blocks", Json::from(bl)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::from("pd-bench-runtime/v1")),
+        ("kernel", Json::from(kernel_mode())),
+        ("threads", Json::from(pd_par::max_threads())),
+        ("reps", Json::from(opts.reps)),
+        ("quick", Json::from(opts.quick)),
+        ("cases", Json::Arr(cases)),
+    ])
+    .pretty()
+}
+
+/// Formats measurements as an aligned text table.
+pub fn print_table(results: &[Measurement]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<30} {:>12} {:>12} {:>10} {:>10}",
+        "case", "median ms", "min ms", "lits in", "lits out"
+    );
+    for m in results {
+        let fmt_opt = |o: Option<usize>| o.map_or(String::from("-"), |v| v.to_string());
+        let _ = writeln!(
+            out,
+            "{:<30} {:>12.3} {:>12.3} {:>10} {:>10}",
+            m.name,
+            m.median_ms,
+            m.min_ms,
+            fmt_opt(m.literals_before),
+            fmt_opt(m.literals_after),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_json() {
+        let opts = RuntimeOptions {
+            reps: 1,
+            quick: true,
+        };
+        let results = run(&opts);
+        assert!(results.iter().any(|m| m.name == "decompose/maj15"));
+        assert!(results.iter().any(|m| m.name == "decompose/counter12"));
+        assert!(results.iter().any(|m| m.name == "pairs/split_maj15"));
+        let json = to_json(&results, &opts);
+        assert!(json.contains("\"schema\": \"pd-bench-runtime/v1\""));
+        assert!(json.contains("decompose/maj15"));
+        let table = print_table(&results);
+        assert!(table.contains("decompose/counter12"));
+    }
+}

@@ -10,10 +10,9 @@ use pd_arith::{Adder, Comparator, Counter, Lod, Lzd, Majority, ThreeInputAdder};
 use pd_cells::{report, AreaDelayReport, CellLibrary};
 use pd_core::{PdConfig, ProgressiveDecomposer};
 use pd_netlist::{sim, Netlist};
-use serde::Serialize;
 
 /// One measured variant of one circuit.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Circuit section (e.g. "16-bit LZD").
     pub circuit: String,
@@ -30,6 +29,33 @@ pub struct Row {
     pub paper: Option<(f64, f64)>,
     /// Whether the netlist was verified against the specification.
     pub verified: bool,
+}
+
+impl Row {
+    /// The row as a JSON object (the offline stand-in for serde).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("circuit", Json::from(self.circuit.as_str())),
+            ("variant", Json::from(self.variant.as_str())),
+            ("area_um2", Json::from(self.area_um2)),
+            ("delay_ns", Json::from(self.delay_ns)),
+            ("cells", Json::from(self.cells)),
+            (
+                "paper",
+                match self.paper {
+                    Some((a, d)) => Json::Arr(vec![Json::from(a), Json::from(d)]),
+                    None => Json::Null,
+                },
+            ),
+            ("verified", Json::from(self.verified)),
+        ])
+    }
+}
+
+/// Serialises measurement rows as a pretty-printed JSON array.
+pub fn rows_to_json(rows: &[Row]) -> String {
+    crate::json::Json::Arr(rows.iter().map(Row::to_json).collect()).pretty()
 }
 
 /// Knobs for the Table 1 run.

@@ -1,4 +1,23 @@
 //! Tunable parameters of the decomposition.
+//!
+//! ## Parallelism knobs
+//!
+//! The decomposer parallelises four independent stages through `pd-par`
+//! (scoped threads; no external dependency): the exhaustive group
+//! search's trial iterations, the per-output combine step, the pair-list
+//! split of large expressions, and the rewrite's pair products + output
+//! bucketing. Control is environment-based so a `PdConfig` stays a pure
+//! description of the *algorithm*:
+//!
+//! * `PD_THREADS=N` — worker count (default: available cores; `1`
+//!   disables all threading). Results are bit-identical at any setting —
+//!   parallel reductions preserve sequential order, and the group search
+//!   picks the same first-minimum candidate.
+//! * `PD_NAIVE_KERNEL=1` — route all ANF arithmetic and the decomposer's
+//!   optimised passes (batched linear minimisation, cached null-space
+//!   closures, merge-counted size reduction) through their reference
+//!   implementations; used by `bench_runtime` for before/after numbers.
+//! * `PD_TIMING=1` — print per-phase wall times of every iteration.
 
 /// Configuration of [`crate::ProgressiveDecomposer`].
 ///
@@ -6,7 +25,8 @@
 /// we always use k = 4 but different values of k can be used"), identities
 /// enumerated over bounded-depth expression trees (§5.5), and all four
 /// basis optimisations enabled. The `enable_*` switches exist for the
-/// ablation experiments.
+/// ablation experiments. Parallelism is *not* configured here — see the
+/// module docs for the `PD_THREADS` environment knob.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PdConfig {
     /// Group size `k`: how many variables are abstracted per iteration.

@@ -26,7 +26,7 @@ use crate::config::PdConfig;
 use crate::group::{find_group, live_vars};
 use crate::identities::{find_identities, IdentityStore};
 use crate::lindep;
-use crate::pairs::PairList;
+use crate::pairs::{Pair, PairList};
 use crate::size_reduce;
 use pd_anf::{Anf, Monomial, NullSpace, Var, VarKind, VarPool, VarSet};
 use pd_netlist::{Netlist, Synthesizer};
@@ -337,11 +337,17 @@ fn run_iteration(
         }
     };
     // Combine the list into one expression X = Σ K_i · L_i (§5.2).
-    let mut terms: Vec<Monomial> = Vec::new();
-    for (i, e) in l.iter().enumerate() {
+    // Outputs are independent, so the per-expression identity reduction
+    // and selector tagging fan out on the pd-par pool.
+    let tagged: Vec<(usize, &Anf)> = l.iter().enumerate().collect();
+    let parts: Vec<Vec<Monomial>> = pd_par::par_map(&tagged, |&(i, e)| {
         let k = Monomial::var(selectors[i]);
         let reduced = identities.reduce(e);
-        terms.extend(reduced.terms().map(|t| t.mul(&k)));
+        reduced.terms().map(|t| t.mul(&k)).collect()
+    });
+    let mut terms: Vec<Monomial> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        terms.extend(p);
     }
     let x = Anf::from_terms(terms);
     lap("combine", &mut stamp);
@@ -453,25 +459,100 @@ fn run_iteration(
         fresh_created -= substitutions.len().min(fresh_created);
     }
     // Rewrite: X' = rest ⊕ Σ leader_j · outer_j, then split selectors off.
+    // Pair contributions are independent products; compute them on the
+    // pool, then bucket terms per output and normalise once per bucket
+    // (building each output by repeated XOR would be quadratic in its
+    // term count). Every term carries exactly one selector, so bucketing
+    // the raw terms and normalising per bucket equals normalising the
+    // combined expression first — one whole sort of X' is skipped.
+    let tagged_pairs: Vec<(&Pair, &Anf)> = pl.pairs.iter().zip(&leader_of_pair).collect();
+    let contributions: Vec<Anf> =
+        pd_par::par_map(&tagged_pairs, |&(p, repr)| repr.and(&p.outer));
     let mut new_terms: Vec<Monomial> = pl.rest.terms().cloned().collect();
-    for (p, repr) in pl.pairs.iter().zip(&leader_of_pair) {
-        let contribution = repr.and(&p.outer);
-        new_terms.extend(contribution.terms().cloned());
+    for c in contributions {
+        new_terms.extend(c.into_terms());
     }
-    let x_new = Anf::from_terms(new_terms);
-    // Split the selectors back off; bucket terms per output and normalise
-    // once per bucket (building each output by repeated XOR would be
-    // quadratic in its term count).
+    if pd_anf::naive_kernel() {
+        // Reference path: normalise the whole X' first, then bucket by a
+        // positional selector scan.
+        let x_new = Anf::from_terms(new_terms);
+        let mut buckets: Vec<Vec<Monomial>> = vec![Vec::new(); l.len()];
+        for t in x_new.terms() {
+            let sel = selectors
+                .iter()
+                .position(|&k| t.contains(k))
+                .expect("every term carries exactly one selector");
+            buckets[sel].push(t.without(selectors[sel]));
+        }
+        let new_l: Vec<Anf> = buckets.into_iter().map(Anf::from_terms).collect();
+        lap("rewrite", &mut stamp);
+        return finish_iteration(
+            new_l,
+            pool,
+            group,
+            iteration,
+            leaders,
+            passthrough,
+            substitutions,
+            new_identities,
+            events,
+            fresh_created,
+        );
+    }
+    let sel_of: HashMap<Var, usize> = selectors
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect();
+    let chunk_buckets: Vec<Vec<Vec<Monomial>>> =
+        pd_par::par_chunks(&new_terms, PairList::PAR_SPLIT_MIN, |chunk| {
+            let mut local: Vec<Vec<Monomial>> = vec![Vec::new(); l.len()];
+            for t in chunk {
+                let sel = t
+                    .vars()
+                    .find_map(|v| sel_of.get(&v).copied())
+                    .expect("every term carries exactly one selector");
+                local[sel].push(t.without(selectors[sel]));
+            }
+            local
+        });
     let mut buckets: Vec<Vec<Monomial>> = vec![Vec::new(); l.len()];
-    for t in x_new.terms() {
-        let sel = selectors
-            .iter()
-            .position(|&k| t.contains(k))
-            .expect("every term carries exactly one selector");
-        buckets[sel].push(t.without(selectors[sel]));
+    for local in chunk_buckets {
+        for (bucket, mut part) in buckets.iter_mut().zip(local) {
+            bucket.append(&mut part);
+        }
     }
-    let new_l: Vec<Anf> = buckets.into_iter().map(Anf::from_terms).collect();
+    let new_l: Vec<Anf> = pd_par::par_map_vec(buckets, Anf::from_terms);
     lap("rewrite", &mut stamp);
+    finish_iteration(
+        new_l,
+        pool,
+        group,
+        iteration,
+        leaders,
+        passthrough,
+        substitutions,
+        new_identities,
+        events,
+        fresh_created,
+    )
+}
+
+/// Shared tail of `run_iteration`: records the final basis and assembles
+/// the outcome (also reached from the `PD_NAIVE_KERNEL` reference rewrite).
+#[allow(clippy::too_many_arguments)]
+fn finish_iteration(
+    new_l: Vec<Anf>,
+    pool: VarPool,
+    group: &VarSet,
+    iteration: u32,
+    leaders: Vec<(Var, Anf)>,
+    passthrough: Vec<Var>,
+    substitutions: Vec<(Var, Anf)>,
+    new_identities: Vec<Anf>,
+    mut events: Vec<TraceEvent>,
+    fresh_created: usize,
+) -> IterationOutcome {
     // Drop substituted leaders from the recorded basis.
     let basis: Vec<(Var, Anf)> = leaders
         .iter()

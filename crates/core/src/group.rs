@@ -32,13 +32,17 @@ pub fn live_vars(exprs: &[Anf], pool: &VarPool, excluded: &VarSet) -> VarSet {
 ///
 /// `objective` evaluates a candidate group by running a trial iteration
 /// and returning the rewritten list's literal count (only used in the
-/// exhaustive phase). Returns `None` when no variable is live.
+/// exhaustive phase). Candidate evaluations are independent, so the
+/// exhaustive phase scores them on the `pd-par` worker pool — `objective`
+/// must therefore be `Fn + Sync` (trial iterations are pure). The winner
+/// is the first minimum in subset-enumeration order, identical to the
+/// sequential scan. Returns `None` when no variable is live.
 pub fn find_group(
     exprs: &[Anf],
     pool: &VarPool,
     excluded: &VarSet,
     cfg: &PdConfig,
-    mut objective: impl FnMut(&VarSet) -> usize,
+    objective: impl Fn(&VarSet) -> usize + Sync,
 ) -> Option<VarSet> {
     let live = live_vars(exprs, pool, excluded);
     if live.is_empty() {
@@ -80,15 +84,16 @@ pub fn find_group(
     }
     let n_subsets = binomial(vars.len(), k);
     if n_subsets <= cfg.exhaustive_group_limit {
-        let mut best: Option<(usize, VarSet)> = None;
-        for combo in k_subsets(&vars, k) {
-            let set: VarSet = combo.iter().copied().collect();
-            let score = objective(&set);
-            if best.as_ref().is_none_or(|(s, _)| score < *s) {
-                best = Some((score, set));
-            }
-        }
-        best.map(|(_, g)| g)
+        let candidates: Vec<VarSet> = k_subsets(&vars, k)
+            .map(|combo| combo.into_iter().collect())
+            .collect();
+        let scores = pd_par::par_map(&candidates, &objective);
+        let best = scores
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, s)| (s, i))
+            .map(|(i, _)| i)?;
+        candidates.into_iter().nth(best)
     } else {
         Some(cooccurrence_group(exprs, &vars, k))
     }

@@ -10,11 +10,21 @@
 //! reduces to `{V₀, P₀₀, P₀₁}` exactly this way.
 
 use crate::pairs::PairList;
-use pd_anf::gf2::linear_dependencies;
-use pd_anf::Anf;
+use pd_anf::gf2::linear_dependencies_of;
 
 /// Applies inner- and outer-side linear minimisation until the basis is
 /// independent on both sides. Returns the number of pairs eliminated.
+///
+/// Each round runs *one* Gaussian elimination per side and applies every
+/// dependency it reports in a single batch. This is sound because the
+/// combinations reference only independent (kept) pairs — see
+/// [`linear_dependencies_of`] — and because applying an inner dependency
+/// only touches *outers* (resp. outer dependencies only touch inners), so
+/// the vectors being eliminated never change mid-batch. The old
+/// one-dependency-per-round scheme recloned all `n` inner expressions and
+/// re-eliminated from scratch after every single removal — `O(deps · n²)`
+/// expression work; batching makes a round `O(n²)` with no cloning
+/// (expressions are borrowed straight out of the pair list).
 ///
 /// The outer-side search performs exact Gaussian elimination over the
 /// outer polynomials; on the multi-million-term expressions of wide
@@ -25,63 +35,102 @@ use pd_anf::Anf;
 pub fn minimize(pl: &mut PairList, outer_term_cap: usize) -> usize {
     let mut eliminated = 0;
     loop {
-        if apply_inner_dependency(pl) {
-            eliminated += 1;
+        let inner_removed = apply_inner_dependencies(pl);
+        if inner_removed > 0 {
+            eliminated += inner_removed;
             pl.merge_fixpoint();
             continue;
         }
         let outer_total: usize = pl.pairs.iter().map(|p| p.outer.term_count()).sum();
-        if outer_total <= outer_term_cap && apply_outer_dependency(pl) {
-            eliminated += 1;
-            pl.merge_fixpoint();
-            continue;
+        if outer_total <= outer_term_cap {
+            let outer_removed = apply_outer_dependencies(pl);
+            if outer_removed > 0 {
+                eliminated += outer_removed;
+                pl.merge_fixpoint();
+                continue;
+            }
         }
         break;
     }
     eliminated
 }
 
-/// Finds one inner-side dependency and applies it. Returns `true` if a
-/// pair was eliminated.
-fn apply_inner_dependency(pl: &mut PairList) -> bool {
-    let inners: Vec<Anf> = pl.pairs.iter().map(|p| p.inner.clone()).collect();
-    let deps = linear_dependencies(&inners);
-    let Some((dep_idx, combo)) = deps.into_iter().next() else {
-        return false;
-    };
-    // X_dep = ⊕_{i∈combo} X_i  ⇒  remove pair dep, add Y_dep to each
-    // combo member's outer.
-    let dep = pl.pairs.remove(dep_idx);
-    for &i in &combo {
-        debug_assert!(i < dep_idx, "dependencies refer to earlier pairs");
-        pl.pairs[i].outer = pl.pairs[i].outer.xor(&dep.outer);
+/// Removes the pairs indexed by `deps` (ascending indices) in one sweep.
+fn drop_pairs(pl: &mut PairList, deps: &[(usize, Vec<usize>)]) {
+    let mut keep = vec![true; pl.pairs.len()];
+    for (dep_idx, _) in deps {
+        keep[*dep_idx] = false;
     }
-    pl.pairs.retain(|p| !p.outer.is_zero() && !p.inner.is_zero());
-    true
+    let mut keep_iter = keep.into_iter();
+    pl.pairs.retain(|_| keep_iter.next().expect("mask covers pairs"));
 }
 
-/// Finds one outer-side dependency and applies it symmetrically.
-fn apply_outer_dependency(pl: &mut PairList) -> bool {
-    let outers: Vec<Anf> = pl.pairs.iter().map(|p| p.outer.clone()).collect();
-    let deps = linear_dependencies(&outers);
-    let Some((dep_idx, combo)) = deps.into_iter().next() else {
-        return false;
+/// Applies every inner-side dependency found by one elimination pass.
+/// Returns the number of pairs eliminated.
+fn apply_inner_dependencies(pl: &mut PairList) -> usize {
+    let deps = if pd_anf::naive_kernel() {
+        // Reference path: clone the expressions out first (as the
+        // pre-optimisation code did) and apply one dependency per
+        // elimination round.
+        let inners: Vec<pd_anf::Anf> = pl.pairs.iter().map(|p| p.inner.clone()).collect();
+        let mut deps = linear_dependencies_of(inners.iter());
+        deps.truncate(1);
+        deps
+    } else {
+        linear_dependencies_of(pl.pairs.iter().map(|p| &p.inner))
     };
-    let dep = pl.pairs.remove(dep_idx);
-    for &i in &combo {
-        debug_assert!(i < dep_idx);
-        let p = &mut pl.pairs[i];
-        p.inner = p.inner.xor(&dep.inner);
-        p.nullspace = p.nullspace.product(&dep.nullspace);
+    if deps.is_empty() {
+        return 0;
     }
+    // X_dep = ⊕_{i∈combo} X_i  ⇒  remove pair dep, add Y_dep to each
+    // combo member's outer.
+    for (dep_idx, combo) in &deps {
+        let dep_outer = pl.pairs[*dep_idx].outer.clone();
+        for &i in combo {
+            debug_assert!(i < *dep_idx, "dependencies refer to earlier pairs");
+            pl.pairs[i].outer.xor_assign(&dep_outer);
+        }
+    }
+    let removed = deps.len();
+    drop_pairs(pl, &deps);
     pl.pairs.retain(|p| !p.outer.is_zero() && !p.inner.is_zero());
-    true
+    removed
+}
+
+/// Applies every outer-side dependency found by one elimination pass,
+/// symmetrically to [`apply_inner_dependencies`].
+fn apply_outer_dependencies(pl: &mut PairList) -> usize {
+    let deps = if pd_anf::naive_kernel() {
+        let outers: Vec<pd_anf::Anf> = pl.pairs.iter().map(|p| p.outer.clone()).collect();
+        let mut deps = linear_dependencies_of(outers.iter());
+        deps.truncate(1);
+        deps
+    } else {
+        linear_dependencies_of(pl.pairs.iter().map(|p| &p.outer))
+    };
+    if deps.is_empty() {
+        return 0;
+    }
+    for (dep_idx, combo) in &deps {
+        let dep_inner = pl.pairs[*dep_idx].inner.clone();
+        let dep_ns = pl.pairs[*dep_idx].nullspace.clone();
+        for &i in combo {
+            debug_assert!(i < *dep_idx);
+            let p = &mut pl.pairs[i];
+            p.inner.xor_assign(&dep_inner);
+            p.nullspace = p.nullspace.product(&dep_ns);
+        }
+    }
+    let removed = deps.len();
+    drop_pairs(pl, &deps);
+    pl.pairs.retain(|p| !p.outer.is_zero() && !p.inner.is_zero());
+    removed
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pd_anf::{VarPool, VarSet};
+    use pd_anf::{Anf, VarPool, VarSet};
     use std::collections::HashMap;
 
     fn pairlist(pool: &mut VarPool, src: &str, group: &[&str]) -> (PairList, Anf) {

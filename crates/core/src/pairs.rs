@@ -13,7 +13,7 @@
 //! The represented expression `rest ⊕ Σ innerᵢ·outerᵢ` is invariant under
 //! rules 1–2 and invariant *modulo identities* under rule 3.
 
-use pd_anf::nullspace::sum_membership;
+use pd_anf::nullspace::{sum_membership, sum_membership_products_with_support};
 use pd_anf::{Anf, Monomial, NullSpace, Var, VarSet};
 use std::collections::HashMap;
 
@@ -40,23 +40,43 @@ pub struct PairList {
 }
 
 impl PairList {
+    /// Term count at which [`PairList::split`] scans in parallel chunks.
+    pub const PAR_SPLIT_MIN: usize = 8192;
+
     /// Splits `expr` by `group`. `var_nullspace` supplies the null-space of
     /// each group variable (from the identity store); monomial inners get
     /// the union of their variables' generators.
+    ///
+    /// Term lists beyond [`PairList::PAR_SPLIT_MIN`] terms are scanned in
+    /// parallel chunks (each chunk groups into a local map, merged in
+    /// chunk order so the result is identical to the sequential scan).
     pub fn split(
         expr: &Anf,
         group: &VarSet,
         var_nullspace: &HashMap<Var, NullSpace>,
     ) -> PairList {
-        let mut by_inner: HashMap<Monomial, Vec<Monomial>> = HashMap::new();
-        let mut rest_terms = Vec::new();
-        for t in expr.terms() {
-            if t.intersects(group) {
-                let (inner, outer) = t.split(group);
-                by_inner.entry(inner).or_default().push(outer);
-            } else {
-                rest_terms.push(t.clone());
+        type ChunkSplit = (HashMap<Monomial, Vec<Monomial>>, Vec<Monomial>);
+        let locals: Vec<ChunkSplit> =
+            pd_par::par_chunks(expr.terms_slice(), Self::PAR_SPLIT_MIN, |chunk| {
+                let mut by_inner: HashMap<Monomial, Vec<Monomial>> = HashMap::new();
+                let mut rest_terms = Vec::new();
+                for t in chunk {
+                    if t.intersects(group) {
+                        let (inner, outer) = t.split(group);
+                        by_inner.entry(inner).or_default().push(outer);
+                    } else {
+                        rest_terms.push(t.clone());
+                    }
+                }
+                (by_inner, rest_terms)
+            });
+        let mut locals = locals.into_iter();
+        let (mut by_inner, mut rest_terms) = locals.next().unwrap_or_default();
+        for (local_map, local_rest) in locals {
+            for (inner, mut outers) in local_map {
+                by_inner.entry(inner).or_default().append(&mut outers);
             }
+            rest_terms.extend(local_rest);
         }
         let mut pairs: Vec<Pair> = by_inner
             .into_iter()
@@ -158,10 +178,34 @@ impl PairList {
     /// two pairs whose outer difference lies in the sum of their
     /// null-spaces. `product_cap` bounds generator-product enumeration.
     ///
+    /// Closure products are enumerated once per pair per scan (not once
+    /// per pair *combination*) and reused across the inner loop; caches
+    /// are rebuilt after a successful merge, which is rare.
+    ///
     /// Returns the number of merges performed.
     pub fn merge_nullspace(&mut self, product_cap: usize) -> usize {
         let mut merges = 0;
         'restart: loop {
+            let cache_closures = !pd_anf::naive_kernel();
+            // Per pair: closure products plus the union of their supports
+            // (so the screen in the O(pairs²) scan is a subset test, not a
+            // re-walk of every product's terms).
+            let products: Vec<(Vec<Anf>, VarSet)> = self
+                .pairs
+                .iter()
+                .map(|p| {
+                    if p.nullspace.is_empty() || !cache_closures {
+                        (Vec::new(), VarSet::new())
+                    } else {
+                        let prods = p.nullspace.closure_products(product_cap);
+                        let mut support = VarSet::new();
+                        for g in &prods {
+                            support = support.union(&g.support());
+                        }
+                        (prods, support)
+                    }
+                })
+                .collect();
             for i in 0..self.pairs.len() {
                 for j in i + 1..self.pairs.len() {
                     // With no generators on either side the only reachable
@@ -172,12 +216,25 @@ impl PairList {
                         continue;
                     }
                     let diff = self.pairs[i].outer.xor(&self.pairs[j].outer);
-                    if let Some(split) = sum_membership(
-                        &self.pairs[i].nullspace,
-                        &self.pairs[j].nullspace,
-                        &diff,
-                        product_cap,
-                    ) {
+                    let split = if cache_closures {
+                        sum_membership_products_with_support(
+                            &products[i].0,
+                            &products[j].0,
+                            &products[i].1,
+                            &products[j].1,
+                            &diff,
+                        )
+                    } else {
+                        // Reference path (`PD_NAIVE_KERNEL`): re-enumerate
+                        // closure products per combination.
+                        sum_membership(
+                            &self.pairs[i].nullspace,
+                            &self.pairs[j].nullspace,
+                            &diff,
+                            product_cap,
+                        )
+                    };
+                    if let Some(split) = split {
                         let pj = self.pairs.remove(j);
                         let pi = &mut self.pairs[i];
                         // T = Y₁ ⊕ n₁ ( = Y₂ ⊕ n₂ ).

@@ -94,26 +94,45 @@ fn try_rewrite(p1: &Pair, p2: &Pair) -> Option<(Pair, Pair)> {
     {
         return None;
     }
-    let new_inner = p1.inner.xor(&p2.inner);
-    let new_outer = p1.outer.xor(&p2.outer);
+    if pd_anf::naive_kernel() {
+        // Reference path (the pre-optimisation code): materialise both
+        // result pairs — including the null-space product — before
+        // pricing the rewrite.
+        let a = Pair {
+            inner: p1.inner.xor(&p2.inner),
+            outer: p1.outer.clone(),
+            nullspace: p1.nullspace.product(&p2.nullspace),
+        };
+        let b = Pair {
+            inner: p2.inner.clone(),
+            outer: p1.outer.xor(&p2.outer),
+            nullspace: p2.nullspace.clone(),
+        };
+        let new = cost(&a) + cost(&b);
+        return if new < old { Some((a, b)) } else { None };
+    }
+    // Price the rewrite with merge-counting only — the XORs are
+    // materialised solely for accepted rewrites (the overwhelming
+    // majority of candidate pairs is rejected right here).
+    let new = p1.inner.xor_literal_count(&p2.inner)
+        + p1.outer.literal_count()
+        + p2.inner.literal_count()
+        + p1.outer.xor_literal_count(&p2.outer);
+    if new >= old {
+        return None;
+    }
     // (X₁⊕X₂)·Y₁ ⊕ X₂·(Y₁⊕Y₂) = X₁Y₁ ⊕ X₂Y₂  (exact)
     let a = Pair {
-        inner: new_inner,
+        inner: p1.inner.xor(&p2.inner),
         outer: p1.outer.clone(),
         nullspace: p1.nullspace.product(&p2.nullspace),
     };
     let b = Pair {
         inner: p2.inner.clone(),
-        outer: new_outer,
+        outer: p1.outer.xor(&p2.outer),
         nullspace: p2.nullspace.clone(),
     };
-    let new = (a.inner.literal_count() + a.outer.literal_count())
-        + (b.inner.literal_count() + b.outer.literal_count());
-    if new < old {
-        Some((a, b))
-    } else {
-        None
-    }
+    Some((a, b))
 }
 
 #[cfg(test)]

@@ -1,0 +1,290 @@
+//! # pd-par — minimal scoped-thread data parallelism
+//!
+//! A rayon stand-in built on [`std::thread::scope`], providing the three
+//! primitives the Progressive Decomposition engine needs:
+//!
+//! * [`par_map`] — order-preserving map over a slice with work stealing
+//!   (an atomic cursor), for irregular tasks such as trial decompositions;
+//! * [`par_chunks`] — order-preserving map over contiguous chunks, for
+//!   regular scans such as pair-list splitting;
+//! * [`par_apply_mut`] — in-place parallel mutation of disjoint chunks,
+//!   for bit-parallel transforms such as truth-table construction.
+//!
+//! ## Knobs
+//!
+//! The worker count is `PD_THREADS` when set (clamped to ≥ 1), otherwise
+//! [`std::thread::available_parallelism`]. With one worker every primitive
+//! degrades to the serial loop — no threads are spawned, no overhead is
+//! paid — so single-core machines and `PD_THREADS=1` runs are exactly the
+//! sequential engine. All primitives are deterministic: outputs are
+//! ordered by input position regardless of scheduling.
+//!
+//! Callers gate parallelism by input size (sequential below a threshold);
+//! this crate deliberately keeps no global pool — scoped threads make each
+//! call self-contained, which is what lets the decomposer nest trial
+//! iterations inside a parallel group search.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Set inside worker threads: nested parallel calls run serially
+    /// instead of multiplying the thread count (a trial decomposition
+    /// scored on the pool must not spawn its own pool).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn effective_workers(task_count: usize) -> usize {
+    if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        max_threads().min(task_count)
+    }
+}
+
+fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|c| c.set(true));
+    let r = f();
+    IN_WORKER.with(|c| c.set(false));
+    r
+}
+
+/// The number of worker threads parallel calls may use.
+///
+/// `PD_THREADS` (≥ 1) wins; otherwise the machine's available parallelism.
+/// Cached after the first call.
+pub fn max_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Some(n) = std::env::var("PD_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Maps `f` over `items`, preserving order.
+///
+/// Tasks are distributed by an atomic cursor, so wildly uneven task costs
+/// (e.g. trial decompositions of different variable groups) still balance.
+/// Runs serially when only one worker is available or the input is small.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = effective_workers(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                as_worker(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("pd-par worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+/// Splits `items` into at most `max_threads()` contiguous chunks of at
+/// least `min_chunk` elements, maps `f` over each chunk in parallel, and
+/// returns the per-chunk results in input order.
+///
+/// Useful when `f` builds a per-chunk accumulator (a local hash map, a
+/// partial XOR) that the caller then merges — merging in chunk order keeps
+/// the overall result deterministic.
+pub fn par_chunks<T: Sync, R: Send>(
+    items: &[T],
+    min_chunk: usize,
+    f: impl Fn(&[T]) -> R + Sync,
+) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let n_chunks = (items.len() / min_chunk).clamp(1, effective_workers(items.len()));
+    let chunk = items.len().div_ceil(n_chunks);
+    if n_chunks <= 1 {
+        return vec![f(items)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || as_worker(|| f(c))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pd-par worker panicked"))
+            .collect()
+    })
+}
+
+/// Maps `f` over owned `items` in parallel, preserving order.
+///
+/// The owned counterpart of [`par_map`]: items are handed to workers in
+/// contiguous chunks (no stealing), which suits uniform tasks such as
+/// normalising per-output term buckets.
+pub fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let workers = effective_workers(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(chunk.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || as_worker(|| c.into_iter().map(f).collect::<Vec<R>>())))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pd-par worker panicked"))
+            .collect()
+    })
+}
+
+/// Applies `f` to disjoint `chunk`-sized windows of `data` in parallel.
+///
+/// `f` receives the window's offset into `data` and the window itself.
+/// `chunk` is rounded up so each window is a multiple of `align` (pass 1
+/// for no alignment) — callers whose transform couples elements within an
+/// aligned block (butterflies, block XORs) stay correct under any split.
+pub fn par_apply_mut<T: Send>(
+    data: &mut [T],
+    align: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let align = align.max(1);
+    let workers = effective_workers(data.len());
+    if workers <= 1 || data.len() <= align {
+        f(0, data);
+        return;
+    }
+    let mut chunk = data.len().div_ceil(workers);
+    chunk = chunk.div_ceil(align) * align;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut offset = 0usize;
+        let mut handles = Vec::new();
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let at = offset;
+            handles.push(scope.spawn(move || as_worker(|| f(at, head))));
+            offset += take;
+            rest = tail;
+        }
+        for h in handles {
+            h.join().expect("pd-par worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let got = par_map(&items, |&x| x * 2);
+        assert_eq!(got, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_in_order() {
+        let items: Vec<usize> = (0..997).collect();
+        let sums = par_chunks(&items, 10, |c| c.iter().sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), 997 * 996 / 2);
+        // Chunk order must match input order.
+        let firsts = par_chunks(&items, 10, |c| c[0]);
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(firsts, sorted);
+    }
+
+    #[test]
+    fn par_apply_mut_respects_alignment() {
+        let mut data: Vec<usize> = (0..256).collect();
+        // Each aligned 8-block reverses itself; blocks must never split.
+        par_apply_mut(&mut data, 8, |off, w| {
+            assert_eq!(off % 8, 0);
+            assert_eq!(w.len() % 8, 0);
+            for b in w.chunks_mut(8) {
+                b.reverse();
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 8) * 8 + (7 - i % 8));
+        }
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_vec_preserves_order_and_ownership() {
+        let items: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let got = par_map_vec(items, |s| s.len());
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[7], 1);
+        assert_eq!(got[42], 2);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_but_correctly() {
+        let items: Vec<usize> = (0..64).collect();
+        let got = par_map(&items, |&x| {
+            let inner: Vec<usize> = (0..8).collect();
+            par_map(&inner, |&y| x * 8 + y).iter().sum::<usize>()
+        });
+        for (x, &s) in got.iter().enumerate() {
+            assert_eq!(s, (0..8).map(|y| x * 8 + y).sum::<usize>());
+        }
+    }
+}
