@@ -50,5 +50,5 @@ mod zdd;
 pub mod verify;
 
 pub use bdd::{interleaved_order, Bdd, BddRef, CapacityError, DEFAULT_NODE_CAP};
-pub use verify::ExactMismatch;
+pub use verify::{ExactMismatch, VerifyContext};
 pub use zdd::{Zdd, ZddRef};

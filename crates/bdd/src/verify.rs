@@ -11,6 +11,138 @@ use crate::bdd::{interleaved_order, Bdd, BddRef, CapacityError};
 use pd_anf::{Anf, Var, VarPool};
 use pd_netlist::{Gate, Netlist};
 
+/// A reusable exact-verification context.
+///
+/// The free functions in this module build a fresh [`Bdd`] manager — and
+/// recompute the variable order — on every call. A flow that verifies the
+/// same circuit at several stage boundaries pays that cost once by keeping
+/// a `VerifyContext`: the order is fixed at construction and the manager
+/// (with its node table and operation caches) persists across checks, so
+/// re-verifying structure that earlier checks already built is a cache
+/// hit, not a rebuild.
+///
+/// ```
+/// use pd_anf::VarPool;
+/// use pd_bdd::VerifyContext;
+/// use pd_netlist::Netlist;
+/// let mut pool = VarPool::new();
+/// let a = pool.input("a", 0, 0);
+/// let b = pool.input("b", 0, 1);
+/// let mut nl = Netlist::new();
+/// let (na, nb) = (nl.input(a), nl.input(b));
+/// let y = nl.xor(na, nb);
+/// nl.set_output("y", y);
+/// let mut ctx = VerifyContext::new(&pool);
+/// assert_eq!(ctx.check_netlists(&nl, &nl).unwrap(), None);
+/// assert_eq!(ctx.check_netlists(&nl, &nl).unwrap(), None); // cached
+/// ```
+#[derive(Clone, Debug)]
+pub struct VerifyContext {
+    bdd: Bdd,
+    order: Vec<Var>,
+    checks_run: usize,
+}
+
+impl VerifyContext {
+    /// Builds a context over the [`interleaved_order`] of `pool`.
+    ///
+    /// The order is computed here, once; every subsequent check reuses it.
+    pub fn new(pool: &VarPool) -> Self {
+        Self::with_order(interleaved_order(pool))
+    }
+
+    /// Builds a context with an explicit variable order (inputs absent
+    /// from `order` are appended in encounter order).
+    pub fn with_order(order: Vec<Var>) -> Self {
+        VerifyContext {
+            bdd: Bdd::with_order(order.iter().copied()),
+            order,
+            checks_run: 0,
+        }
+    }
+
+    /// The variable order fixed at construction.
+    pub fn order(&self) -> &[Var] {
+        &self.order
+    }
+
+    /// Number of checks run through this context so far.
+    pub fn checks_run(&self) -> usize {
+        self.checks_run
+    }
+
+    /// Nodes currently held by the shared manager; stable across repeated
+    /// checks of already-built structure (everything hits the node table).
+    pub fn node_count(&self) -> usize {
+        self.bdd.len()
+    }
+
+    /// Caps the shared manager's node table (see [`Bdd::set_node_cap`]).
+    pub fn set_node_cap(&mut self, cap: usize) {
+        self.bdd.set_node_cap(cap);
+    }
+
+    /// Exact equivalence of two netlists with identical output names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the BDDs exceed the node cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is missing an output name that `a` declares.
+    pub fn check_netlists(
+        &mut self,
+        a: &Netlist,
+        b: &Netlist,
+    ) -> Result<Option<ExactMismatch>, CapacityError> {
+        self.checks_run += 1;
+        let fa = build_outputs(&mut self.bdd, a)?;
+        let fb = build_outputs(&mut self.bdd, b)?;
+        for (name, f) in &fa {
+            let g = fb
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("second netlist has no output named {name:?}"))
+                .1;
+            if let Some(m) = mismatch_for(&mut self.bdd, name, *f, g)? {
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Exact equivalence of a netlist against its ANF specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the BDDs exceed the node cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netlist` is missing an output name that `spec` declares.
+    pub fn check_netlist_vs_anf(
+        &mut self,
+        netlist: &Netlist,
+        spec: &[(String, Anf)],
+    ) -> Result<Option<ExactMismatch>, CapacityError> {
+        self.checks_run += 1;
+        let fs = build_outputs(&mut self.bdd, netlist)?;
+        for (name, expr) in spec {
+            let f = fs
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("netlist has no output named {name:?}"))
+                .1;
+            let g = self.bdd.from_anf(expr)?;
+            if let Some(m) = mismatch_for(&mut self.bdd, name, f, g)? {
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+}
+
 /// A counterexample produced by exact equivalence checking.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExactMismatch {
@@ -100,20 +232,7 @@ pub fn check_netlists_equal(
     b: &Netlist,
     order: &[Var],
 ) -> Result<Option<ExactMismatch>, CapacityError> {
-    let mut bdd = Bdd::with_order(order.iter().copied());
-    let fa = build_outputs(&mut bdd, a)?;
-    let fb = build_outputs(&mut bdd, b)?;
-    for (name, f) in &fa {
-        let g = fb
-            .iter()
-            .find(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("second netlist has no output named {name:?}"))
-            .1;
-        if let Some(m) = mismatch_for(&mut bdd, name, *f, g)? {
-            return Ok(Some(m));
-        }
-    }
-    Ok(None)
+    VerifyContext::with_order(order.to_vec()).check_netlists(a, b)
 }
 
 /// Exact equivalence of a netlist against its ANF specification.
@@ -130,20 +249,7 @@ pub fn check_netlist_vs_anf(
     spec: &[(String, Anf)],
     order: &[Var],
 ) -> Result<Option<ExactMismatch>, CapacityError> {
-    let mut bdd = Bdd::with_order(order.iter().copied());
-    let fs = build_outputs(&mut bdd, netlist)?;
-    for (name, expr) in spec {
-        let f = fs
-            .iter()
-            .find(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("netlist has no output named {name:?}"))
-            .1;
-        let g = bdd.from_anf(expr)?;
-        if let Some(m) = mismatch_for(&mut bdd, name, f, g)? {
-            return Ok(Some(m));
-        }
-    }
-    Ok(None)
+    VerifyContext::with_order(order.to_vec()).check_netlist_vs_anf(netlist, spec)
 }
 
 /// Convenience wrapper: exact netlist-vs-netlist equivalence under the
@@ -251,6 +357,42 @@ mod tests {
         bdd.set_node_cap(16);
         assert!(build_outputs(&mut bdd, &rca).is_err());
         let _ = mux;
+    }
+
+    #[test]
+    fn verify_context_reuses_order_and_manager() {
+        let (pool, rca, mux) = adder_pair(8);
+        let mut ctx = VerifyContext::new(&pool);
+        let order_before = ctx.order().to_vec();
+        assert_eq!(ctx.check_netlists(&rca, &mux).unwrap(), None);
+        let nodes_after_first = ctx.node_count();
+        assert_eq!(ctx.check_netlists(&rca, &mux).unwrap(), None);
+        // Second identical check: same pre-built order, and every BDD
+        // operation resolves in the shared node table — nothing rebuilt.
+        assert_eq!(ctx.order(), order_before.as_slice());
+        assert_eq!(ctx.node_count(), nodes_after_first);
+        assert_eq!(ctx.checks_run(), 2);
+    }
+
+    #[test]
+    fn verify_context_mixes_netlist_and_anf_checks() {
+        let mut pool = VarPool::new();
+        let a = pool.input("a", 0, 0);
+        let b = pool.input("b", 0, 1);
+        let c = pool.input("c", 0, 2);
+        let mut nl = Netlist::new();
+        let (na, nb, nc) = (nl.input(a), nl.input(b), nl.input(c));
+        let m = nl.maj(na, nb, nc);
+        nl.set_output("maj", m);
+        let spec = vec![(
+            "maj".to_owned(),
+            Anf::parse("a*b ^ b*c ^ c*a", &mut pool).unwrap(),
+        )];
+        let mut ctx = VerifyContext::new(&pool);
+        assert_eq!(ctx.check_netlist_vs_anf(&nl, &spec).unwrap(), None);
+        let nodes = ctx.node_count();
+        assert_eq!(ctx.check_netlists(&nl, &nl).unwrap(), None);
+        assert_eq!(ctx.node_count(), nodes, "netlist already built");
     }
 
     #[test]

@@ -26,9 +26,12 @@
 pub mod factorisation;
 pub mod figures;
 pub mod futurework;
-pub mod json;
 pub mod runtime;
 pub mod table1;
+
+/// The JSON writer/parser, re-exported from its home in `pd-flow` (it
+/// moved there when the flow pipeline needed to read specifications).
+pub use pd_flow::json;
 
 pub use factorisation::{factorisation_rows, print_fx_rows, FxRow};
 pub use table1::{print_rows, rows_to_json, table1, Row, Table1Options};

@@ -6,6 +6,14 @@
 //! is tracked alongside speed. The JSON artefact is the perf trajectory
 //! of the engine from PR 1 onward — CI emits it on every run.
 //!
+//! Besides the `decompose/*` and `kernel/*` micro cases, the tracker runs
+//! the **whole synthesis pipeline** (`pd-flow`) on maj15 and counter12
+//! and records one `flow/<circuit>/<stage>` entry per stage plus a
+//! `flow/<circuit>/total`, so the trajectory covers decompose → reduce →
+//! factor → techmap → STA, not just the decomposition loop. Flow cases
+//! run with the oracle off (the `PD_SKIP_VERIFY` escape hatch exists for
+//! exactly this) so they time the transforms, not the checker.
+//!
 //! Set `PD_NAIVE_KERNEL=1` to route all ANF arithmetic through the
 //! reference (pre-optimisation) paths; the recorded `kernel` field then
 //! says `"naive"`, which is how before/after comparisons are produced
@@ -16,6 +24,7 @@ use pd_anf::{Anf, VarPool};
 use pd_arith::{Adder, Counter, Lzd, Majority};
 use pd_core::pairs::PairList;
 use pd_core::{PdConfig, ProgressiveDecomposer};
+use pd_flow::{circuit_by_name, Flow, FlowConfig, StageKind};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -36,6 +45,10 @@ pub struct Measurement {
     pub literals_after: Option<usize>,
     /// Blocks in the produced hierarchy (decompose cases).
     pub blocks: Option<usize>,
+    /// Mapped cell area in µm² (flow techmap/STA stages).
+    pub area_um2: Option<f64>,
+    /// Critical-path delay in ns (flow STA stage).
+    pub delay_ns: Option<f64>,
 }
 
 /// Knobs for a measurement run.
@@ -116,9 +129,81 @@ pub fn run(opts: &RuntimeOptions) -> Vec<Measurement> {
             literals_before: Some(literals_before),
             literals_after: Some(after),
             blocks: Some(blocks),
+            area_um2: None,
+            delay_ns: None,
         });
     }
+    out.extend(flow_cases(opts));
     out.extend(kernel_cases(opts));
+    out
+}
+
+/// Circuits the whole-pipeline tracker runs (per-stage entries each).
+const FLOW_CIRCUITS: [&str; 2] = ["maj15", "counter12"];
+
+/// Times the five-stage `pd-flow` pipeline per stage.
+///
+/// Every repetition runs a fresh [`Flow`] to completion with
+/// verification off; the median/min of each stage's transform wall time
+/// becomes one `flow/<circuit>/<stage>` measurement, and the summed
+/// stage times one `flow/<circuit>/total`.
+fn flow_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let reps = opts.reps.max(1);
+    for circuit in FLOW_CIRCUITS {
+        let input = circuit_by_name(circuit).expect("bench circuits resolve");
+        let cfg = FlowConfig {
+            verify: false,
+            ..FlowConfig::default()
+        };
+        // samples[stage][rep] = wall ms; the final rep's reports supply
+        // the size metrics.
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); StageKind::ALL.len()];
+        let mut last_reports = Vec::new();
+        for _ in 0..reps {
+            let mut flow = Flow::new(input.clone(), cfg.clone());
+            flow.run_to_completion().expect("bench circuits flow clean");
+            for (i, r) in flow.reports().iter().enumerate() {
+                samples[i].push(r.wall_ms);
+            }
+            last_reports = flow.reports().to_vec();
+        }
+        let median_min = |mut s: Vec<f64>| {
+            s.sort_by(f64::total_cmp);
+            (s[s.len() / 2], s[0])
+        };
+        let mut totals: Vec<f64> = vec![0.0; reps];
+        for (i, (stage, stage_samples)) in StageKind::ALL.iter().zip(&samples).enumerate() {
+            for (t, &s) in totals.iter_mut().zip(stage_samples) {
+                *t += s;
+            }
+            let report = &last_reports[i];
+            let (median, min) = median_min(stage_samples.clone());
+            out.push(Measurement {
+                name: format!("flow/{circuit}/{}", stage.name()),
+                median_ms: median,
+                min_ms: min,
+                reps,
+                literals_before: None,
+                literals_after: report.literals,
+                blocks: report.blocks,
+                area_um2: report.area_um2,
+                delay_ns: report.delay_ns,
+            });
+        }
+        let (median, min) = median_min(totals);
+        out.push(Measurement {
+            name: format!("flow/{circuit}/total"),
+            median_ms: median,
+            min_ms: min,
+            reps,
+            literals_before: None,
+            literals_after: last_reports.iter().rev().find_map(|r| r.literals),
+            blocks: None,
+            area_um2: last_reports.iter().rev().find_map(|r| r.area_um2),
+            delay_ns: last_reports.iter().rev().find_map(|r| r.delay_ns),
+        });
+    }
     out
 }
 
@@ -135,6 +220,8 @@ fn kernel_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
             literals_before: None,
             literals_after: None,
             blocks: None,
+            area_um2: None,
+            delay_ns: None,
         });
     };
     let reps = opts.reps.max(3);
@@ -210,6 +297,12 @@ pub fn to_json(results: &[Measurement], opts: &RuntimeOptions) -> String {
             if let Some(bl) = m.blocks {
                 fields.push(("blocks", Json::from(bl)));
             }
+            if let Some(a) = m.area_um2 {
+                fields.push(("area_um2", Json::from(a)));
+            }
+            if let Some(d) = m.delay_ns {
+                fields.push(("delay_ns", Json::from(d)));
+            }
             Json::obj(fields)
         })
         .collect();
@@ -262,10 +355,27 @@ mod tests {
         assert!(results.iter().any(|m| m.name == "decompose/maj15"));
         assert!(results.iter().any(|m| m.name == "decompose/counter12"));
         assert!(results.iter().any(|m| m.name == "pairs/split_maj15"));
+        // The pipeline tracker: one entry per stage per flow circuit.
+        for circuit in FLOW_CIRCUITS {
+            for stage in StageKind::ALL {
+                let name = format!("flow/{circuit}/{}", stage.name());
+                assert!(results.iter().any(|m| m.name == name), "{name} missing");
+            }
+            let total = results
+                .iter()
+                .find(|m| m.name == format!("flow/{circuit}/total"))
+                .expect("total entry");
+            assert!(total.area_um2.unwrap_or(0.0) > 0.0);
+            assert!(total.delay_ns.unwrap_or(0.0) > 0.0);
+        }
         let json = to_json(&results, &opts);
         assert!(json.contains("\"schema\": \"pd-bench-runtime/v1\""));
         assert!(json.contains("decompose/maj15"));
+        assert!(json.contains("flow/maj15/techmap"));
+        assert!(json.contains("flow/counter12/sta"));
+        assert!(json.contains("area_um2"));
         let table = print_table(&results);
         assert!(table.contains("decompose/counter12"));
+        assert!(table.contains("flow/maj15/decompose"));
     }
 }

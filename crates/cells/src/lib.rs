@@ -30,5 +30,5 @@ pub mod msim;
 mod sta;
 
 pub use library::{Cell, CellKind, CellLibrary};
-pub use map::{MappedCell, MappedNetlist};
+pub use map::{unmap, MappedCell, MappedNetlist};
 pub use sta::{arrival_times, report, report_mapped, AreaDelayReport};

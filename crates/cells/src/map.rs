@@ -231,6 +231,68 @@ pub fn cell_of(lib: &CellLibrary, mc: &MappedCell) -> Cell {
     lib.cell(mc.kind)
 }
 
+/// Reconstructs a technology-independent [`Netlist`] from a mapped one.
+///
+/// Each cell re-emits its Boolean function over the reconstructed fanins
+/// (`FA.S → a⊕b⊕c`, `FA.CO → MAJ`, `NAND2 → ¬(a·b)`, …). `source` must be
+/// the netlist `mapped` was produced from: it supplies the input
+/// variables and tie-cell constants, which the cell list alone does not
+/// carry.
+///
+/// Mapping never restructures logic, so the reconstruction is functionally
+/// identical to `source` — which is what lets the flow's BDD oracle verify
+/// the technology-mapping stage like any other netlist-to-netlist step.
+///
+/// # Panics
+///
+/// Panics if `mapped` and `source` disagree (a node id out of range or a
+/// non-input node where an input is expected), which cannot happen for a
+/// `(source, map(source))` pair.
+pub fn unmap(mapped: &MappedNetlist, source: &Netlist) -> Netlist {
+    let mut out = Netlist::new();
+    // Node of `source` -> node of `out`.
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    for &i in &mapped.inputs {
+        let Gate::Input(v) = source.gate(i) else {
+            panic!("mapped input list points at a non-input node");
+        };
+        let n = out.input(v);
+        remap.insert(i, n);
+    }
+    for c in &mapped.cells {
+        let f: Vec<NodeId> = c.fanins.iter().map(|n| remap[n]).collect();
+        let n = match c.kind {
+            CellKind::Inv => out.not(f[0]),
+            CellKind::Nand2 => {
+                let a = out.and(f[0], f[1]);
+                out.not(a)
+            }
+            CellKind::Nor2 => {
+                let o = out.or(f[0], f[1]);
+                out.not(o)
+            }
+            CellKind::And2 | CellKind::HaCarry => out.and(f[0], f[1]),
+            CellKind::Or2 => out.or(f[0], f[1]),
+            CellKind::Xor2 | CellKind::HaSum => out.xor(f[0], f[1]),
+            CellKind::Xnor2 => out.xnor(f[0], f[1]),
+            CellKind::Mux2 => out.mux(f[0], f[1], f[2]),
+            CellKind::Maj3 | CellKind::FaCarry => out.maj(f[0], f[1], f[2]),
+            CellKind::FaSum => out.xor3(f[0], f[1], f[2]),
+            CellKind::Tie => {
+                let Gate::Const(b) = source.gate(c.drives) else {
+                    panic!("tie cell drives a non-constant node");
+                };
+                out.constant(b)
+            }
+        };
+        remap.insert(c.drives, n);
+    }
+    for (name, n) in &mapped.outputs {
+        out.set_output(name, remap[n]);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +382,34 @@ mod tests {
         let hist = mapped.histogram();
         assert_eq!(hist.get(&CellKind::FaSum), None);
         assert_eq!(hist.get(&CellKind::Maj3), Some(&1));
+    }
+
+    #[test]
+    fn unmap_restores_an_equivalent_netlist() {
+        // Exercise every absorption path: FA macro, HA macro, NAND, and
+        // plain gates, then check unmap(map(nl)) ≡ nl by simulation.
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..5).map(|i| pool.input(&format!("x{i}"), 0, i)).collect();
+        let mut nl = Netlist::new();
+        let n: Vec<_> = vars.iter().map(|&v| nl.input(v)).collect();
+        let (s, co) = nl.full_adder(n[0], n[1], n[2]);
+        let (hs, hc) = nl.half_adder(n[3], n[4]);
+        let nand_in = nl.and(s, hs);
+        let nand = nl.not(nand_in);
+        let m = nl.mux(co, hc, nand);
+        let t = nl.constant(true);
+        nl.set_output("s", s);
+        nl.set_output("m", m);
+        nl.set_output("t", t);
+        let mapped = map(&nl);
+        assert!(mapped.histogram().contains_key(&CellKind::FaSum));
+        assert!(mapped.histogram().contains_key(&CellKind::Tie));
+        let back = unmap(&mapped, &nl);
+        for (name, _) in nl.outputs() {
+            assert!(back.outputs().iter().any(|(n2, _)| n2 == name));
+        }
+        let spec = pd_netlist::extract::extract_anf(&nl, 1 << 16).expect("small cones");
+        assert_eq!(pd_netlist::sim::check_equiv_anf(&back, &spec, 32, 17), None);
     }
 
     #[test]

@@ -96,6 +96,19 @@ impl PdConfig {
         self
     }
 
+    /// Disables basis refinement only: linear-dependence minimisation
+    /// (§5.3) and local size reduction (§5.4). Pair merging and identity
+    /// discovery stay on.
+    ///
+    /// The flow pipeline uses this for its `decompose` stage; its
+    /// `reduce` stage then re-runs with refinement enabled, so the two
+    /// stages report the refinement's contribution separately.
+    pub fn without_basis_refinement(mut self) -> Self {
+        self.enable_linear_minimisation = false;
+        self.enable_size_reduction = false;
+        self
+    }
+
     /// Disables every optional optimisation (plain kernel-style
     /// decomposition); used as the ablation baseline.
     pub fn bare(mut self) -> Self {

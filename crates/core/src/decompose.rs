@@ -815,6 +815,25 @@ impl Decomposition {
     pub fn leader_count(&self) -> usize {
         self.blocks.iter().map(|b| b.basis.len()).sum()
     }
+
+    /// Literal count of the hierarchical implementation: every block's
+    /// basis expressions plus the final output expressions. This is the
+    /// cost the paper's literal-count columns track, and what the flow's
+    /// per-stage stats report.
+    pub fn hierarchy_literal_count(&self) -> usize {
+        let basis: usize = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.basis.iter())
+            .map(|(_, e)| e.literal_count())
+            .sum();
+        let outputs: usize = self
+            .outputs
+            .iter()
+            .map(|(_, e)| e.literal_count())
+            .sum();
+        basis + outputs
+    }
 }
 
 /// Minimal deterministic PRNG (SplitMix64), avoiding a dependency here.

@@ -386,6 +386,29 @@ impl Cover {
         self.cubes.iter().any(|c| c.eval(&assignment))
     }
 
+    /// The minterm cover of an ANF expression, or `None` when the
+    /// expression's support exceeds `max_support` variables (the truth
+    /// table would not be affordable).
+    ///
+    /// The inverse direction of [`Cover::to_anf`] up to function
+    /// equivalence: the produced cover is the disjoint minterm SOP, the
+    /// flat two-level description an algebraic flow starts from.
+    pub fn from_anf(expr: &Anf, max_support: usize) -> Option<Cover> {
+        let vars: Vec<Var> = expr.support().iter().collect();
+        if vars.len() > max_support {
+            return None;
+        }
+        let tt = pd_anf::TruthTable::from_anf(expr, &vars);
+        let cubes = (0..tt.len()).filter(|&i| tt.get(i)).map(|i| {
+            Cube::new(
+                vars.iter()
+                    .enumerate()
+                    .map(|(j, &v)| Lit::new(v, i >> j & 1 == 1)),
+            )
+        });
+        Some(Cover::from_cubes(cubes))
+    }
+
     /// The exact ANF of the cover, or `None` when the intermediate
     /// expansion exceeds `term_cap` monomials.
     pub fn to_anf(&self, term_cap: usize) -> Option<Anf> {

@@ -114,6 +114,25 @@ impl FactorNetwork {
         }
     }
 
+    /// Builds a network from ANF expressions via their minterm covers.
+    ///
+    /// Returns `None` when any expression's support exceeds `max_support`
+    /// variables (see [`Cover::from_anf`]). The flow pipeline uses this to
+    /// hand each decomposition block's leaders — small-support functions by
+    /// construction — to the algebraic extraction loop.
+    pub fn from_anf_outputs(
+        outputs: &[(String, pd_anf::Anf)],
+        max_support: usize,
+    ) -> Option<Self> {
+        let covers = outputs
+            .iter()
+            .map(|(name, expr)| {
+                Cover::from_anf(expr, max_support).map(|c| (name.clone(), c))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self::from_covers(&covers))
+    }
+
     /// Builds a network directly from covers.
     pub fn from_covers(outputs: &[(String, Cover)]) -> Self {
         FactorNetwork {
@@ -536,6 +555,31 @@ mod tests {
         let f = cover(&mut pool, "a + ab");
         let net = FactorNetwork::from_covers(&[("y".to_owned(), f)]);
         assert_eq!(net.literal_count(), 1);
+    }
+
+    #[test]
+    fn from_anf_outputs_round_trips_through_synthesis() {
+        let mut pool = VarPool::new();
+        let maj = pd_anf::Anf::parse("a*b ^ b*c ^ c*a", &mut pool).unwrap();
+        let sum = pd_anf::Anf::parse("a ^ b ^ c", &mut pool).unwrap();
+        let spec = vec![("co".to_owned(), maj), ("s".to_owned(), sum)];
+        let mut net = FactorNetwork::from_anf_outputs(&spec, 8).expect("support fits");
+        net.minimize_nodes(8);
+        net.extract(&mut pool, &ExtractConfig::default());
+        let nl = net.synthesize();
+        assert_eq!(pd_netlist::sim::check_equiv_anf(&nl, &spec, 16, 13), None);
+        // Support above the cap is rejected, not mis-built.
+        let mut wide_pool = VarPool::new();
+        let wide = parity_anf(&mut wide_pool, 9);
+        assert!(FactorNetwork::from_anf_outputs(&[("p".to_owned(), wide)], 8).is_none());
+    }
+
+    fn parity_anf(pool: &mut VarPool, n: usize) -> pd_anf::Anf {
+        let mut e = pd_anf::Anf::zero();
+        for i in 0..n {
+            e = e.xor(&pd_anf::Anf::var(pool.input(&format!("p{i}"), 0, i)));
+        }
+        e
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The batch driver: many circuits through the pipeline on the `pd-par`
+//! thread pool.
+//!
+//! Circuits are independent, so the batch fans out one flow per pool
+//! worker (`PD_THREADS` controls the width). Inside a worker the
+//! decomposer's own parallel stages degrade to serial loops — `pd-par`'s
+//! nested-call guard — so the pool is never oversubscribed. Results come
+//! back in input order regardless of scheduling, and one circuit's
+//! failure (a red oracle, a BDD overflow) is reported in its slot without
+//! aborting the rest of the batch.
+
+use crate::json::Json;
+use crate::{Flow, FlowConfig, FlowError, FlowInput, FlowSummary};
+
+/// One circuit's outcome within a batch.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Circuit name (kept even when the flow failed).
+    pub name: String,
+    /// The summary, or why the flow stopped.
+    pub result: Result<FlowSummary, FlowError>,
+}
+
+impl BatchOutcome {
+    /// Serialises the outcome: the summary object, or `{name, error}`.
+    pub fn to_json(&self) -> Json {
+        match &self.result {
+            Ok(summary) => summary.to_json(),
+            Err(e) => Json::obj(vec![
+                ("name", Json::from(self.name.as_str())),
+                ("error", Json::from(e.to_string().as_str())),
+            ]),
+        }
+    }
+}
+
+/// Runs every circuit through a fresh [`Flow`] under a shared
+/// configuration, in parallel, preserving input order.
+pub fn run_batch(inputs: Vec<FlowInput>, cfg: &FlowConfig) -> Vec<BatchOutcome> {
+    pd_par::par_map_vec(inputs, |input| {
+        let name = input.name.clone();
+        let mut flow = Flow::new(input, cfg.clone());
+        BatchOutcome {
+            name,
+            result: flow.run_to_completion(),
+        }
+    })
+}
+
+/// Serialises a whole batch as the `pd flow` stats document.
+pub fn batch_to_json(outcomes: &[BatchOutcome], cfg: &FlowConfig) -> Json {
+    Json::obj(vec![
+        ("schema", Json::from("pd-flow-stats/v1")),
+        ("verify", Json::from(cfg.verify)),
+        ("threads", Json::from(pd_par::max_threads())),
+        (
+            "circuits",
+            Json::Arr(outcomes.iter().map(BatchOutcome::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::circuit_by_name;
+
+    #[test]
+    fn batch_preserves_order_and_isolates_failures() {
+        let inputs = vec![
+            circuit_by_name("parity8").unwrap(),
+            circuit_by_name("gray6").unwrap(),
+            circuit_by_name("maj5").unwrap(),
+        ];
+        let cfg = FlowConfig::default();
+        let outcomes = run_batch(inputs, &cfg);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].name, "parity8");
+        assert_eq!(outcomes[1].name, "gray6");
+        assert_eq!(outcomes[2].name, "maj5");
+        for o in &outcomes {
+            let summary = o.result.as_ref().expect("small circuits flow clean");
+            assert_eq!(summary.stages.len(), 5);
+        }
+        let doc = batch_to_json(&outcomes, &cfg);
+        let circuits = doc.get("circuits").and_then(Json::as_arr).unwrap();
+        assert_eq!(circuits.len(), 3);
+    }
+}

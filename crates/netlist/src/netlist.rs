@@ -367,6 +367,58 @@ impl Netlist {
         live
     }
 
+    /// Copies every node of `other` into this netlist, substituting the
+    /// nodes of `bind` for `other`'s primary inputs (an input variable
+    /// absent from `bind` becomes/reuses this netlist's own input node).
+    ///
+    /// Returns the node map: index `i` holds the node in `self`
+    /// corresponding to `other`'s node `i`. Gate construction goes through
+    /// the folding builders, so hash-consing and constant folds apply
+    /// across the inlined logic — this is how the flow stitches per-block
+    /// factored netlists into one implementation, wiring each block's
+    /// leader variables to the nodes computing them.
+    ///
+    /// `other`'s output declarations are *not* copied; the caller decides
+    /// which mapped nodes become outputs (or bindings for later blocks).
+    pub fn inline(&mut self, other: &Netlist, bind: &HashMap<Var, NodeId>) -> Vec<NodeId> {
+        let mut remap: Vec<NodeId> = Vec::with_capacity(other.len());
+        for (_, gate) in other.iter() {
+            let new = match gate {
+                Gate::Const(b) => self.constant(b),
+                Gate::Input(v) => match bind.get(&v) {
+                    Some(&n) => n,
+                    None => self.input(v),
+                },
+                Gate::Not(a) => {
+                    let a = remap[a.index()];
+                    self.not(a)
+                }
+                Gate::And(a, b) => {
+                    let (a, b) = (remap[a.index()], remap[b.index()]);
+                    self.and(a, b)
+                }
+                Gate::Or(a, b) => {
+                    let (a, b) = (remap[a.index()], remap[b.index()]);
+                    self.or(a, b)
+                }
+                Gate::Xor(a, b) => {
+                    let (a, b) = (remap[a.index()], remap[b.index()]);
+                    self.xor(a, b)
+                }
+                Gate::Mux { sel, lo, hi } => {
+                    let (s, l, h) = (remap[sel.index()], remap[lo.index()], remap[hi.index()]);
+                    self.mux(s, l, h)
+                }
+                Gate::Maj(a, b, c) => {
+                    let (a, b, c) = (remap[a.index()], remap[b.index()], remap[c.index()]);
+                    self.maj(a, b, c)
+                }
+            };
+            remap.push(new);
+        }
+        remap
+    }
+
     /// Returns a copy with dead nodes removed (outputs preserved).
     pub fn sweep(&self) -> Netlist {
         let live = self.live_mask();
@@ -505,6 +557,34 @@ mod tests {
         let swept = nl.sweep();
         assert_eq!(swept.len(), 3);
         assert_eq!(swept.outputs().len(), 1);
+    }
+
+    #[test]
+    fn inline_binds_inputs_and_shares_structure() {
+        let mut pool = VarPool::new();
+        let a = pool.input("a", 0, 0);
+        let b = pool.input("b", 0, 1);
+        let x = pool.derived("x", 1);
+        // Inner block: y = x ⊕ b (x to be bound to a·b in the outer netlist).
+        let mut inner = Netlist::new();
+        let (nx, nb) = (inner.input(x), inner.input(b));
+        let y = inner.xor(nx, nb);
+        inner.set_output("y", y);
+        // Outer netlist computes a·b, then inlines the block with x ↦ a·b.
+        let mut outer = Netlist::new();
+        let (na, nb2) = (outer.input(a), outer.input(b));
+        let ab = outer.and(na, nb2);
+        let bind: HashMap<Var, NodeId> = [(x, ab)].into_iter().collect();
+        let map = outer.inline(&inner, &bind);
+        outer.set_output("y", map[y.index()]);
+        // x never became an input; b was shared, not duplicated.
+        assert!(outer.inputs().iter().all(|&(v, _)| v != x));
+        assert_eq!(outer.inputs().len(), 2);
+        let spec = vec![(
+            "y".to_owned(),
+            pd_anf::Anf::parse("a*b ^ b", &mut pool).unwrap(),
+        )];
+        assert_eq!(crate::sim::check_equiv_anf(&outer, &spec, 16, 3), None);
     }
 
     #[test]

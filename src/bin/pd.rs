@@ -8,6 +8,7 @@
 //! ```text
 //! USAGE:
 //!   pd [OPTIONS] <SPEC-FILE | - >
+//!   pd flow [FLOW-OPTIONS] <FLOW-SPEC.json | - | NAMES>
 //!
 //! OPTIONS:
 //!   -k <N>          group size (default 4)
@@ -34,6 +35,20 @@
 //! Files ending in `.v` are instead read as structural Verilog (the
 //! subset `~ & ^ | ?:` that `pd` itself emits); the gate network is
 //! converted back to Reed–Muller form and re-architected.
+//!
+//! FLOW SUBCOMMAND: runs the full five-stage pipeline
+//! (decompose → reduce → factor → techmap → STA) with BDD differential
+//! verification at every stage boundary (see `pd_flow`):
+//!
+//!   pd flow maj15,counter12          named pd-arith generators
+//!   pd flow all                      one instance of every generator
+//!   pd flow spec.json                a flow-spec document (see pd_flow::spec)
+//!   echo '{...}' | pd flow -         the same, from stdin
+//!
+//! FLOW-OPTIONS:
+//!   --out F       write the per-stage JSON stats to F
+//!   --no-verify   skip the BDD oracle (benchmarking; same as PD_SKIP_VERIFY=1)
+//!   -k <N>        group size override
 //! ```
 
 use progressive_decomposition::prelude::*;
@@ -99,66 +114,184 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Reads a specification from a path or stdin, delegating to the shared
+/// loaders in `pd_flow::spec` (text format, or structural Verilog for
+/// `.v` files) so `pd <file>` and `pd flow <file>` parse identically.
 fn read_spec(
     path: &str,
     pool: &mut VarPool,
 ) -> Result<Vec<(String, Anf)>, String> {
-    let text = if path == "-" {
+    use progressive_decomposition::flow::spec::{load_circuit, parse_text_spec};
+    if path == "-" {
         let mut s = String::new();
         std::io::stdin()
             .read_to_string(&mut s)
             .map_err(|e| format!("reading stdin: {e}"))?;
-        s
-    } else {
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
-    };
-    if path.ends_with(".v") {
-        return read_verilog_spec(&text, pool);
+        return parse_text_spec(&s, pool);
     }
-    let mut outputs = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (name, expr) = line
-            .split_once('=')
-            .ok_or_else(|| format!("line {}: expected `name = expr`", lineno + 1))?;
-        let name = name.trim();
-        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
-            return Err(format!("line {}: bad output name {name:?}", lineno + 1));
-        }
-        let expr = Anf::parse(expr, pool)
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        outputs.push((name.to_owned(), expr));
-    }
-    if outputs.is_empty() {
-        return Err("specification defines no outputs".into());
-    }
-    Ok(outputs)
-}
-
-/// Imports a structural Verilog module and recovers the Reed–Muller
-/// specification of each output by exact ANF extraction.
-fn read_verilog_spec(text: &str, pool: &mut VarPool) -> Result<Vec<(String, Anf)>, String> {
-    let nl = progressive_decomposition::netlist::from_verilog(text, pool)
-        .map_err(|e| format!("verilog: {e}"))?;
-    let spec = progressive_decomposition::netlist::extract::extract_anf(&nl, 1 << 22)
-        .ok_or("verilog: Reed–Muller extraction exceeded the term cap")?;
-    if spec.is_empty() {
-        return Err("verilog module declares no outputs".into());
-    }
-    Ok(spec)
+    let input = load_circuit(path)?;
+    *pool = input.pool;
+    Ok(input.outputs)
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = if args.first().map(String::as_str) == Some("flow") {
+        run_flow(&args[1..])
+    } else {
+        run()
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("pd: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `pd flow` subcommand: resolve circuits, run the batch pipeline,
+/// print per-stage tables, optionally write the JSON stats artefact.
+fn run_flow(args: &[String]) -> Result<(), String> {
+    use progressive_decomposition::flow::{
+        batch_to_json, run_batch, FlowConfig, FlowSpec, StageReport,
+    };
+    let mut out_path: Option<String> = None;
+    let mut no_verify = false;
+    let mut group_size: Option<usize> = None;
+    let mut target: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--no-verify" => no_verify = true,
+            "-k" => {
+                let v = it.next().ok_or("-k needs a value")?;
+                let k = v.parse().map_err(|_| format!("bad group size {v:?}"))?;
+                if k == 0 {
+                    return Err("group size must be positive".into());
+                }
+                group_size = Some(k);
+            }
+            "-h" | "--help" => {
+                return Err("usage: pd flow [--out F] [--no-verify] [-k N] \
+                            <flow-spec.json | - | NAMES>"
+                    .into())
+            }
+            other if target.is_none() => target = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let target = target.ok_or("missing flow target (spec.json, '-', or circuit names)")?;
+
+    // A JSON document (file or stdin) configures everything; a bare name
+    // list is the quick form.
+    let (inputs, mut cfg, spec_out) = if target == "-" || target.ends_with(".json") {
+        let text = if target == "-" {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            s
+        } else {
+            std::fs::read_to_string(&target).map_err(|e| format!("reading {target}: {e}"))?
+        };
+        let spec = FlowSpec::parse(&text)?;
+        (spec.resolve()?, spec.config, spec.out)
+    } else {
+        let mut inputs = Vec::new();
+        for name in target.split(',').filter(|s| !s.is_empty()) {
+            inputs.extend(progressive_decomposition::flow::spec::resolve_circuit(name)?);
+        }
+        if inputs.is_empty() {
+            return Err("no circuits named".into());
+        }
+        (inputs, FlowConfig::default(), None)
+    };
+    if no_verify {
+        cfg.verify = false;
+    }
+    if let Some(k) = group_size {
+        cfg.pd.group_size = k;
+    }
+    let out_path = out_path.or(spec_out);
+
+    println!(
+        "pd flow: {} circuit(s), verification {}, {} worker thread(s)",
+        inputs.len(),
+        if cfg.verify { "on" } else { "off" },
+        pd_par::max_threads(),
+    );
+    let t0 = std::time::Instant::now();
+    let outcomes = run_batch(inputs, &cfg);
+    let elapsed = t0.elapsed();
+
+    let fmt_opt_usize = |o: Option<usize>| o.map_or(String::from("-"), |v| v.to_string());
+    let mut failures = 0usize;
+    for o in &outcomes {
+        match &o.result {
+            Ok(summary) => {
+                println!(
+                    "\ncircuit {}: {} inputs, {} spec literals",
+                    summary.name, summary.inputs, summary.spec_literals
+                );
+                println!(
+                    "  {:<10} {:>10} {:>10} {:>4} {:>9} {:>7} {:>7} {:>10} {:>8}",
+                    "stage", "wall ms", "verify ms", "ok", "literals", "gates", "cells", "area", "delay"
+                );
+                for s in &summary.stages {
+                    let StageReport {
+                        stage,
+                        wall_ms,
+                        verify_ms,
+                        verified,
+                        literals,
+                        gates,
+                        cells,
+                        area_um2,
+                        delay_ns,
+                        ..
+                    } = s;
+                    println!(
+                        "  {:<10} {:>10.3} {:>10.3} {:>4} {:>9} {:>7} {:>7} {:>10} {:>8}",
+                        stage.name(),
+                        wall_ms,
+                        verify_ms,
+                        match verified {
+                            Some(true) => "yes",
+                            Some(false) => "NO",
+                            None => "-",
+                        },
+                        fmt_opt_usize(*literals),
+                        fmt_opt_usize(*gates),
+                        fmt_opt_usize(*cells),
+                        area_um2.map_or(String::from("-"), |v| format!("{v:.1}µm²")),
+                        delay_ns.map_or(String::from("-"), |v| format!("{v:.2}ns")),
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("\ncircuit {}: FAILED — {e}", o.name);
+            }
+        }
+    }
+    if let Some(path) = &out_path {
+        let doc = batch_to_json(&outcomes, &cfg).pretty();
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nwrote flow stats to {path}");
+    }
+    println!(
+        "\nflow finished in {elapsed:?}: {}/{} circuits clean",
+        outcomes.len() - failures,
+        outcomes.len()
+    );
+    if failures > 0 {
+        return Err(format!("{failures} circuit(s) failed the flow"));
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {

@@ -13,7 +13,42 @@
 //! * [`bdd`] — BDD/ZDD engines for exact equivalence checking and the
 //!   compact canonical ring representation of §7's future work,
 //! * [`factor`] — the algebraic-factorisation (kernel extraction)
-//!   baseline the paper's §2 positions as the state of the art.
+//!   baseline the paper's §2 positions as the state of the art,
+//! * [`flow`] — the unified synthesis pipeline tying all of the above
+//!   together, with a BDD differential-test oracle at every stage
+//!   boundary.
+//!
+//! ## Pipeline
+//!
+//! The [`flow`] crate chains the substrates into the five-stage flow the
+//! paper's toolchain ran end to end; every stage boundary is
+//! differentially verified against the stage's input with the BDD
+//! oracle (disable with `PD_SKIP_VERIFY=1` when benchmarking):
+//!
+//! ```text
+//! ANF spec ──► decompose ──► reduce ──► factor ──► techmap ──► sta
+//!             (pd-core,    (pd-core,  (pd-factor  (pd-cells   (pd-cells
+//!              no §5.3/4)   full)      per block)  mapper)     timing)
+//!                  │            │          │           │
+//!                  ▼            ▼          ▼           ▼
+//!              BDD ≡ spec   BDD ≡ prev  BDD ≡ prev  BDD ≡ prev
+//! ```
+//!
+//! From the command line: `pd flow maj15,counter12`, `pd flow all`, or
+//! `pd flow spec.json` with a [`flow::spec`] document. In code:
+//!
+//! ```
+//! use progressive_decomposition::flow::{Flow, FlowConfig, FlowInput};
+//! use progressive_decomposition::prelude::*;
+//!
+//! let mut pool = VarPool::new();
+//! let maj7 = pd_core::examples::majority_anf(&mut pool, 7);
+//! let input = FlowInput::new("maj7", pool, vec![("maj".into(), maj7)]);
+//! let mut flow = Flow::new(input, FlowConfig::default());
+//! let summary = flow.run_to_completion().expect("oracle green at every stage");
+//! assert_eq!(summary.stages.len(), 5);
+//! println!("{:.1}µm² {:.2}ns", summary.area_um2, summary.delay_ns);
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -44,6 +79,7 @@ pub use pd_bdd as bdd;
 pub use pd_cells as cells;
 pub use pd_core as core;
 pub use pd_factor as factor;
+pub use pd_flow as flow;
 pub use pd_netlist as netlist;
 
 /// The most common imports in one place.
@@ -53,5 +89,6 @@ pub mod prelude {
     pub use pd_cells::{report, AreaDelayReport, CellKind, CellLibrary};
     pub use pd_core::{self, Decomposition, PdConfig, ProgressiveDecomposer, TraceEvent};
     pub use pd_factor::{ExtractConfig, FactorNetwork};
+    pub use pd_flow::{Flow, FlowConfig, FlowInput, FlowSummary, StageKind};
     pub use pd_netlist::{synthesize_outputs, Gate, Netlist, NodeId, Synthesizer};
 }

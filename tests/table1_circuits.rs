@@ -6,6 +6,7 @@
 use progressive_decomposition::arith::{
     Adder, Comparator, Counter, Lod, Lzd, Majority, ThreeInputAdder,
 };
+use progressive_decomposition::flow::{circuit_by_name, StageKind};
 use progressive_decomposition::netlist::sim::check_equiv_anf;
 use progressive_decomposition::prelude::*;
 
@@ -138,6 +139,72 @@ fn every_baseline_matches_its_spec() {
     let spec = t.spec();
     assert_eq!(check_equiv_anf(&t.rca_rca_netlist(), &spec, 64, 9), None);
     assert_eq!(check_equiv_anf(&t.csa_adder_netlist(), &spec, 64, 10), None);
+}
+
+/// Golden end-to-end numbers: circuit → (literals after decompose,
+/// after reduce, after factor, mapped cell count). Pinned from the flow's
+/// first green run; deterministic across `PD_NAIVE_KERNEL` and
+/// `PD_THREADS` (the CI naive-kernel job re-checks that). An intentional
+/// heuristic change moves these — update the table alongside it.
+const FLOW_GOLDEN: [(&str, [usize; 4]); 6] = [
+    ("maj15", [243, 176, 176, 77]),
+    ("counter12", [156, 137, 137, 64]),
+    ("lzd12", [351, 249, 249, 41]),
+    ("adder10", [117, 117, 117, 59]),
+    ("comparator10", [133, 166, 166, 58]),
+    ("three8", [172, 172, 172, 64]),
+];
+
+#[test]
+fn full_flow_literal_counts_match_golden() {
+    let mut diff = String::new();
+    for (name, want) in FLOW_GOLDEN {
+        let input = circuit_by_name(name).expect("golden circuits resolve");
+        let mut flow = Flow::new(input, FlowConfig::default());
+        let summary = flow
+            .run_to_completion()
+            .unwrap_or_else(|e| panic!("{name}: flow failed: {e}"));
+        for s in &summary.stages {
+            assert_ne!(s.verified, Some(false), "{name}/{} oracle red", s.stage);
+        }
+        let stage_literals = |kind: StageKind| {
+            summary
+                .stages
+                .iter()
+                .find(|s| s.stage == kind)
+                .and_then(|s| s.literals)
+                .unwrap_or(0)
+        };
+        let got = [
+            stage_literals(StageKind::Decompose),
+            stage_literals(StageKind::Reduce),
+            stage_literals(StageKind::Factor),
+            summary.cells,
+        ];
+        if got != want {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                diff,
+                "  {name:<14} {:>10} {:>10} {:>10} {:>10}",
+                "decompose", "reduce", "factor", "cells"
+            );
+            let _ = writeln!(
+                diff,
+                "    expected     {:>10} {:>10} {:>10} {:>10}",
+                want[0], want[1], want[2], want[3]
+            );
+            let _ = writeln!(
+                diff,
+                "    got          {:>10} {:>10} {:>10} {:>10}",
+                got[0], got[1], got[2], got[3]
+            );
+        }
+    }
+    assert!(
+        diff.is_empty(),
+        "flow output drifted from the golden Table-1 numbers:\n{diff}\
+         If the heuristic change is intentional, update FLOW_GOLDEN."
+    );
 }
 
 #[test]
