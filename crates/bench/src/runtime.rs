@@ -14,6 +14,13 @@
 //! run with the oracle off (the `PD_SKIP_VERIFY` escape hatch exists for
 //! exactly this) so they time the transforms, not the checker.
 //!
+//! The Reduce stage's two implementations are A/B-tracked directly:
+//! `flow/<circuit>/reduce-incremental` times `pd_core::refine` applied to
+//! a prebuilt stage-1 hierarchy (the default in-place worklist path), and
+//! `flow/<circuit>/reduce-full` times the from-scratch re-decomposition
+//! it replaced (the `PD_FULL_REDUCE=1` fallback), each with the literal
+//! count it reaches.
+//!
 //! Set `PD_NAIVE_KERNEL=1` to route all ANF arithmetic through the
 //! reference (pre-optimisation) paths; the recorded `kernel` field then
 //! says `"naive"`, which is how before/after comparisons are produced
@@ -134,6 +141,7 @@ pub fn run(opts: &RuntimeOptions) -> Vec<Measurement> {
         });
     }
     out.extend(flow_cases(opts));
+    out.extend(reduce_ab_cases(opts));
     out.extend(kernel_cases(opts));
     out
 }
@@ -202,6 +210,55 @@ fn flow_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
             blocks: None,
             area_um2: last_reports.iter().rev().find_map(|r| r.area_um2),
             delay_ns: last_reports.iter().rev().find_map(|r| r.delay_ns),
+        });
+    }
+    out
+}
+
+/// A/B comparison of the Reduce stage's two implementations (see the
+/// module docs): incremental in-place refinement of one prebuilt stage-1
+/// hierarchy versus the from-scratch refined re-decomposition.
+fn reduce_ab_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let reps = opts.reps.max(1);
+    for circuit in FLOW_CIRCUITS {
+        let input = circuit_by_name(circuit).expect("bench circuits resolve");
+        let stage1 = ProgressiveDecomposer::new(PdConfig::default().without_basis_refinement())
+            .decompose(input.pool.clone(), input.outputs.clone());
+        let literals_before = stage1.hierarchy_literal_count();
+        let mut refined_literals = 0;
+        let (median, min) = time_reps(reps, || {
+            let mut d = stage1.clone();
+            pd_core::refine(&mut d, &PdConfig::default());
+            refined_literals = d.hierarchy_literal_count();
+        });
+        out.push(Measurement {
+            name: format!("flow/{circuit}/reduce-incremental"),
+            median_ms: ms(median),
+            min_ms: ms(min),
+            reps,
+            literals_before: Some(literals_before),
+            literals_after: Some(refined_literals),
+            blocks: None,
+            area_um2: None,
+            delay_ns: None,
+        });
+        let mut full_literals = 0;
+        let (median, min) = time_reps(reps, || {
+            let d = ProgressiveDecomposer::new(PdConfig::default())
+                .decompose(input.pool.clone(), input.outputs.clone());
+            full_literals = d.hierarchy_literal_count();
+        });
+        out.push(Measurement {
+            name: format!("flow/{circuit}/reduce-full"),
+            median_ms: ms(median),
+            min_ms: ms(min),
+            reps,
+            literals_before: Some(literals_before),
+            literals_after: Some(full_literals),
+            blocks: None,
+            area_um2: None,
+            delay_ns: None,
         });
     }
     out
@@ -355,11 +412,20 @@ mod tests {
         assert!(results.iter().any(|m| m.name == "decompose/maj15"));
         assert!(results.iter().any(|m| m.name == "decompose/counter12"));
         assert!(results.iter().any(|m| m.name == "pairs/split_maj15"));
-        // The pipeline tracker: one entry per stage per flow circuit.
+        // The pipeline tracker: one entry per stage per flow circuit,
+        // plus the Reduce A/B pair.
         for circuit in FLOW_CIRCUITS {
             for stage in StageKind::ALL {
                 let name = format!("flow/{circuit}/{}", stage.name());
                 assert!(results.iter().any(|m| m.name == name), "{name} missing");
+            }
+            for ab in ["reduce-incremental", "reduce-full"] {
+                let name = format!("flow/{circuit}/{ab}");
+                let m = results
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("{name} missing"));
+                assert!(m.literals_after.unwrap_or(0) > 0, "{name} lacks literals");
             }
             let total = results
                 .iter()

@@ -596,6 +596,13 @@ impl Decomposition {
                 defined.insert(v);
             }
         }
+        // The specification's support counts as given even when it is not
+        // input-kind: a decomposition may start from expressions over the
+        // leaders of an enclosing hierarchy (the refine module's residual
+        // close pass does exactly that).
+        for (_, e) in &self.spec {
+            defined.extend(e.support().iter());
+        }
         for (bi, b) in self.blocks.iter().enumerate() {
             for (lv, expr) in &b.basis {
                 for v in expr.support().iter() {

@@ -12,6 +12,9 @@
 //! * [`lindep`] — basis minimisation by GF(2) linear dependence (§5.3),
 //! * [`size_reduce`] — local literal-count reduction (§5.4),
 //! * [`identities`] — identity discovery and reuse (§5.5),
+//! * [`refine`] — incremental in-place refinement of a finished
+//!   hierarchy: the §5.3/§5.4 passes driven by a dirty-block worklist
+//!   instead of a from-scratch re-decomposition,
 //! * [`ProgressiveDecomposer`] — the main loop (Fig. 5), with a full
 //!   execution trace, netlist emission and equivalence checking,
 //! * [`online`] — the constructive side of Theorem 1 (Fig. 4): any
@@ -39,7 +42,9 @@ pub mod identities;
 pub mod lindep;
 pub mod online;
 pub mod pairs;
+pub mod refine;
 pub mod size_reduce;
 
 pub use config::PdConfig;
 pub use decompose::{examples, Block, Decomposition, ProgressiveDecomposer, TraceEvent};
+pub use refine::{refine, RefineStats};

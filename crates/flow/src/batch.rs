@@ -6,11 +6,14 @@
 //! decomposer's own parallel stages degrade to serial loops — `pd-par`'s
 //! nested-call guard — so the pool is never oversubscribed. Results come
 //! back in input order regardless of scheduling, and one circuit's
-//! failure (a red oracle, a BDD overflow) is reported in its slot without
-//! aborting the rest of the batch.
+//! failure — a red oracle, a BDD overflow, even an outright panic (each
+//! flow runs behind [`std::panic::catch_unwind`]) — is reported in its
+//! slot without aborting, reordering, or corrupting the rest of the
+//! batch.
 
 use crate::json::Json;
 use crate::{Flow, FlowConfig, FlowError, FlowInput, FlowSummary};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One circuit's outcome within a batch.
 #[derive(Clone, Debug)]
@@ -35,15 +38,28 @@ impl BatchOutcome {
 }
 
 /// Runs every circuit through a fresh [`Flow`] under a shared
-/// configuration, in parallel, preserving input order.
+/// configuration, in parallel, preserving input order. A circuit whose
+/// flow panics yields [`FlowError::Panicked`] in its slot; its siblings
+/// are unaffected.
 pub fn run_batch(inputs: Vec<FlowInput>, cfg: &FlowConfig) -> Vec<BatchOutcome> {
     pd_par::par_map_vec(inputs, |input| {
         let name = input.name.clone();
-        let mut flow = Flow::new(input, cfg.clone());
-        BatchOutcome {
-            name,
-            result: flow.run_to_completion(),
-        }
+        // A panicking flow must not unwind into the pool worker (which
+        // would poison the whole batch); each flow's state is discarded
+        // on panic, so the unwind-safety assertion is sound.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut flow = Flow::new(input, cfg.clone());
+            flow.run_to_completion()
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(FlowError::Panicked(msg))
+        });
+        BatchOutcome { name, result }
     })
 }
 
@@ -85,5 +101,54 @@ mod tests {
         let doc = batch_to_json(&outcomes, &cfg);
         let circuits = doc.get("circuits").and_then(Json::as_arr).unwrap();
         assert_eq!(circuits.len(), 3);
+    }
+
+    #[test]
+    fn panicking_circuit_does_not_disturb_siblings() {
+        use crate::FlowInput;
+        use pd_anf::{Anf, VarPool};
+
+        // A specification that mentions a selector variable makes the
+        // decomposer panic in its input validation — a stand-in for any
+        // mid-flow panic.
+        let mut pool = VarPool::new();
+        let k = pool.fresh_selector();
+        let poison = FlowInput::new("poison", pool, vec![("y".into(), Anf::var(k))]);
+
+        let inputs = vec![
+            circuit_by_name("parity8").unwrap(),
+            poison,
+            circuit_by_name("maj5").unwrap(),
+        ];
+        let cfg = FlowConfig::default();
+        let outcomes = run_batch(inputs, &cfg);
+        assert_eq!(outcomes.len(), 3, "every slot reports");
+        assert_eq!(outcomes[0].name, "parity8");
+        assert_eq!(outcomes[1].name, "poison");
+        assert_eq!(outcomes[2].name, "maj5");
+        let err = outcomes[1]
+            .result
+            .as_ref()
+            .expect_err("poisoned circuit must fail");
+        assert!(
+            matches!(err, crate::FlowError::Panicked(msg)
+                if msg.contains("selector")),
+            "unexpected error: {err}"
+        );
+        for i in [0, 2] {
+            let summary = outcomes[i]
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("sibling {i} disturbed: {e}"));
+            assert_eq!(summary.stages.len(), 5);
+            assert!(summary.stages.iter().all(|s| s.verified != Some(false)));
+        }
+        // The failing slot still serialises into the stats document.
+        let doc = batch_to_json(&outcomes, &cfg);
+        let circuits = doc.get("circuits").and_then(Json::as_arr).unwrap();
+        assert!(circuits[1]
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("panicked")));
     }
 }

@@ -50,10 +50,14 @@ impl Json {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is a finite number.
+    ///
+    /// A non-finite `Json::Num` (possible only by constructing the
+    /// variant directly — [`From<f64>`] and the parser never produce one)
+    /// yields `None`, matching the writer, which emits it as `null`.
     pub fn as_num(&self) -> Option<f64> {
         match self {
-            Json::Num(n) => Some(*n),
+            Json::Num(n) if n.is_finite() => Some(*n),
             _ => None,
         }
     }
@@ -335,8 +339,16 @@ impl From<&str> for Json {
 }
 
 impl From<f64> for Json {
+    /// A non-finite value (NaN, ±∞) has no JSON representation; it
+    /// becomes an explicit `Json::Null` at construction time instead of
+    /// degrading to `null` silently at write time (which would not
+    /// round-trip through [`Json::parse`] as a number either way).
     fn from(n: f64) -> Json {
-        Json::Num(n)
+        if n.is_finite() {
+            Json::Num(n)
+        } else {
+            Json::Null
+        }
     }
 }
 
@@ -355,6 +367,7 @@ impl From<bool> for Json {
 #[cfg(test)]
 mod tests {
     use super::Json;
+    use proptest as pt;
 
     #[test]
     fn escapes_and_nests() {
@@ -403,6 +416,86 @@ mod tests {
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse(r#"{"a" 1}"#).is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    /// Random JSON tree over every constructor, depth-bounded. Numbers go
+    /// through `From<f64>` — including NaN/±∞ injections, which normalise
+    /// to `Json::Null` — so the generated value is always representable.
+    fn random_json(rng: &mut pt::TestRng, depth: usize) -> Json {
+        let choices = if depth == 0 { 4 } else { 6 };
+        match rng.below(choices) {
+            0 => Json::Null,
+            1 => Json::from(rng.below(2) == 1),
+            2 => {
+                let raw = match rng.below(6) {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => (rng.below(2_000_001) as f64) - 1_000_000.0,
+                    _ => ((rng.below(64_000_001) as f64) - 32_000_000.0) / 1024.0,
+                };
+                Json::from(raw)
+            }
+            3 => {
+                let len = rng.below(12) as usize;
+                let s: String = (0..len)
+                    .map(|_| {
+                        // Mix ASCII, escapes, control chars, and non-ASCII.
+                        match rng.below(8) {
+                            0 => '"',
+                            1 => '\\',
+                            2 => '\n',
+                            3 => '\u{7}',
+                            4 => 'µ',
+                            5 => '😀',
+                            _ => (b'a' + (rng.below(26) as u8)) as char,
+                        }
+                    })
+                    .collect();
+                Json::Str(s)
+            }
+            4 => {
+                let len = rng.below(5) as usize;
+                Json::Arr((0..len).map(|_| random_json(rng, depth - 1)).collect())
+            }
+            _ => {
+                let len = rng.below(5) as usize;
+                Json::Obj(
+                    (0..len)
+                        .map(|i| (format!("k{i}"), random_json(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn writer_parser_round_trip_property() {
+        let mut rng = pt::TestRng::new(pt::seed_for(
+            "writer_parser_round_trip_property",
+        ));
+        for case in 0..200 {
+            let doc = random_json(&mut rng, 3);
+            let text = doc.pretty();
+            let back = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("case {case}: {e}\ndocument:\n{text}"));
+            assert_eq!(back, doc, "case {case} did not round-trip:\n{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_round_trip_as_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let j = Json::obj(vec![("area_um2", Json::from(bad))]);
+            assert_eq!(j.get("area_um2"), Some(&Json::Null));
+            let text = j.pretty();
+            assert_eq!(Json::parse(&text).unwrap(), j, "{text}");
+        }
+        // A hand-constructed non-finite Num still writes as null and is
+        // invisible to as_num, so it cannot masquerade as data.
+        let sneaky = Json::Num(f64::NAN);
+        assert_eq!(sneaky.pretty(), "null");
+        assert_eq!(sneaky.as_num(), None);
     }
 
     #[test]

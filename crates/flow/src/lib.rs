@@ -11,8 +11,9 @@
 //!  │ 1 Decompose   (pd-core)     │  Progressive Decomposition, basis
 //!  │                             │  refinement (§5.3/§5.4) disabled
 //!  ├──────────────▼──────────────┤
-//!  │ 2 Reduce      (pd-core)     │  re-run with LinDep + SizeReduce on;
-//!  │                             │  the stage's gain is the ablation
+//!  │ 2 Reduce      (pd-core)     │  incremental LinDep + SizeReduce on
+//!  │                             │  the stage-1 hierarchy (worklist);
+//!  │                             │  PD_FULL_REDUCE=1 re-decomposes
 //!  ├──────────────▼──────────────┤
 //!  │ 3 Factor      (pd-factor)   │  per-block algebraic resynthesis:
 //!  │                             │  minimise + kernel extraction
@@ -66,7 +67,7 @@ use json::Json;
 use pd_anf::{Anf, Var, VarPool};
 use pd_bdd::{CapacityError, ExactMismatch, VerifyContext};
 use pd_cells::{map, report_mapped, unmap, AreaDelayReport, CellLibrary, MappedNetlist};
-use pd_core::{Decomposition, PdConfig, ProgressiveDecomposer};
+use pd_core::{refine, Decomposition, PdConfig, ProgressiveDecomposer};
 use pd_factor::{ExtractConfig, FactorNetwork};
 use pd_netlist::{synthesize_outputs, Netlist, NodeId};
 use std::collections::HashMap;
@@ -114,8 +115,12 @@ impl FlowInput {
 pub enum StageKind {
     /// Progressive Decomposition with basis refinement disabled.
     Decompose,
-    /// Re-decomposition with linear-dependence minimisation (§5.3) and
-    /// local size reduction (§5.4) enabled — the refinement ablation.
+    /// Incremental refinement of the stage-1 hierarchy: linear-dependence
+    /// minimisation (§5.3) and local size reduction (§5.4) applied in
+    /// place by `pd_core::refine`'s dirty-block worklist. With
+    /// [`FlowConfig::full_reduce`] (or `PD_FULL_REDUCE=1`) the stage
+    /// instead re-runs the whole decomposition with refinement enabled —
+    /// the original, slower from-scratch path, kept for A/B comparison.
     Reduce,
     /// Per-block two-level minimisation + kernel extraction (`pd-factor`).
     Factor,
@@ -172,6 +177,12 @@ pub struct FlowConfig {
     /// `true` unless the `PD_SKIP_VERIFY` environment variable is set —
     /// the escape hatch for benchmarking the transforms alone.
     pub verify: bool,
+    /// Run the `Reduce` stage as a from-scratch re-decomposition (the
+    /// pre-incremental behaviour) instead of refining the stage-1
+    /// hierarchy in place. Defaults to `false` unless the
+    /// `PD_FULL_REDUCE` environment variable is set — the A/B switch for
+    /// comparing the two Reduce paths.
+    pub full_reduce: bool,
 }
 
 impl Default for FlowConfig {
@@ -183,6 +194,7 @@ impl Default for FlowConfig {
             minimize: true,
             library: CellLibrary::umc130(),
             verify: std::env::var_os("PD_SKIP_VERIFY").is_none(),
+            full_reduce: std::env::var_os("PD_FULL_REDUCE").is_some(),
         }
     }
 }
@@ -219,6 +231,10 @@ pub struct StageReport {
     pub delay_ns: Option<f64>,
     /// Output with the worst arrival time (`STA`).
     pub critical_output: Option<String>,
+    /// Worklist refinement attempts (incremental `Reduce` only).
+    pub refine_passes: Option<usize>,
+    /// Leaders eliminated by refinement (incremental `Reduce` only).
+    pub refine_leaders_removed: Option<usize>,
 }
 
 impl StageReport {
@@ -235,6 +251,8 @@ impl StageReport {
             area_um2: None,
             delay_ns: None,
             critical_output: None,
+            refine_passes: None,
+            refine_leaders_removed: None,
         }
     }
 
@@ -273,6 +291,12 @@ impl StageReport {
         if let Some(v) = &self.critical_output {
             fields.push(("critical_output", Json::from(v.as_str())));
         }
+        if let Some(v) = self.refine_passes {
+            fields.push(("refine_passes", Json::from(v)));
+        }
+        if let Some(v) = self.refine_leaders_removed {
+            fields.push(("refine_leaders_removed", Json::from(v)));
+        }
         Json::obj(fields)
     }
 }
@@ -295,6 +319,10 @@ pub enum FlowError {
         /// The manager's capacity error.
         error: CapacityError,
     },
+    /// The flow panicked mid-stage. Only produced by the batch driver,
+    /// which fences each circuit so one panicking flow cannot take down
+    /// (or reorder) its siblings; the payload is the panic message.
+    Panicked(String),
     /// [`Flow::run_next`] was called after the last stage.
     Exhausted,
 }
@@ -310,6 +338,7 @@ impl fmt::Display for FlowError {
             FlowError::Capacity { stage, error } => {
                 write!(f, "stage {stage} verification overflowed: {error}")
             }
+            FlowError::Panicked(msg) => write!(f, "flow panicked: {msg}"),
             FlowError::Exhausted => f.write_str("flow already completed all stages"),
         }
     }
@@ -553,7 +582,33 @@ impl Flow {
             report.gates = self.netlist.as_ref().map(live_gates);
             return Ok(report);
         }
-        self.run_decomposition_stage(StageKind::Reduce, self.cfg.pd.clone())
+        if self.cfg.full_reduce {
+            // A/B fallback: the pre-incremental from-scratch re-run.
+            return self.run_decomposition_stage(StageKind::Reduce, self.cfg.pd.clone());
+        }
+        // Incremental path: refine the stage-1 hierarchy in place with
+        // the dirty-block worklist instead of re-decomposing; the BDD
+        // oracle then proves the refined netlist equivalent to stage 1's.
+        let mut report = StageReport::new(StageKind::Reduce);
+        let t = std::time::Instant::now();
+        let mut d = self
+            .decomposition
+            .as_ref()
+            .expect("decompose ran")
+            .clone();
+        let stats = refine(&mut d, &self.cfg.pd);
+        let nl = d.to_netlist();
+        report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        report.literals = Some(d.hierarchy_literal_count());
+        report.blocks = Some(d.blocks.len());
+        report.gates = Some(live_gates(&nl));
+        report.refine_passes = Some(stats.passes);
+        report.refine_leaders_removed = Some(stats.leaders_removed);
+        self.verify_boundary(&mut report, &nl)?;
+        self.pool = d.pool.clone();
+        self.decomposition = Some(d);
+        self.netlist = Some(nl);
+        Ok(report)
     }
 
     fn stage_factor(&mut self) -> Result<StageReport, FlowError> {
@@ -600,7 +655,9 @@ impl Flow {
                     direct
                 }
             };
-            let remap = nl.inline(&small, &bound);
+            let remap = nl
+                .inline(&small, &bound)
+                .expect("synthesised block netlists are topologically ordered");
             for (name, node) in small.outputs() {
                 let v = block
                     .basis
@@ -612,7 +669,9 @@ impl Flow {
             }
         }
         let finals = synthesize_outputs(&d.outputs);
-        let remap = nl.inline(&finals, &bound);
+        let remap = nl
+            .inline(&finals, &bound)
+            .expect("synthesised output netlists are topologically ordered");
         for (name, node) in finals.outputs() {
             nl.set_output(name, remap[node.index()]);
         }

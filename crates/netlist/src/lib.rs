@@ -43,7 +43,7 @@ pub mod stats;
 pub mod verilog;
 
 pub use gate::{FaninIter, Gate, NodeId};
-pub use netlist::Netlist;
+pub use netlist::{Netlist, TopologyError};
 pub use sop::{Cube, Sop};
 pub use stats::NetlistStats;
 pub use synth::{synthesize_outputs, Synthesizer};

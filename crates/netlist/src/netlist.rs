@@ -9,6 +9,33 @@
 use crate::gate::{Gate, NodeId};
 use pd_anf::Var;
 use std::collections::HashMap;
+use std::fmt;
+
+/// A fan-in reference that does not precede its gate.
+///
+/// Returned by [`Netlist::inline`] when the source netlist is not
+/// topologically ordered (every fan-in id must be lower than its gate's
+/// id); see there for why the assumption is checked rather than assumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopologyError {
+    /// The gate whose fan-in is out of order.
+    pub node: NodeId,
+    /// The offending fan-in (its id is not lower than `node`'s).
+    pub fanin: NodeId,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist is not topologically ordered: node {} references fan-in {}",
+            self.node.index(),
+            self.fanin.index()
+        )
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// A combinational gate-level netlist with named outputs.
 ///
@@ -380,9 +407,29 @@ impl Netlist {
     ///
     /// `other`'s output declarations are *not* copied; the caller decides
     /// which mapped nodes become outputs (or bindings for later blocks).
-    pub fn inline(&mut self, other: &Netlist, bind: &HashMap<Var, NodeId>) -> Vec<NodeId> {
+    ///
+    /// # Errors
+    ///
+    /// The single pass requires `other` to be topologically ordered —
+    /// every fan-in id lower than its gate's id, which the appending
+    /// builders guarantee but externally assembled netlists may not.
+    /// A forward (or self) reference returns [`TopologyError`] instead
+    /// of panicking or silently wiring a stale node.
+    pub fn inline(
+        &mut self,
+        other: &Netlist,
+        bind: &HashMap<Var, NodeId>,
+    ) -> Result<Vec<NodeId>, TopologyError> {
         let mut remap: Vec<NodeId> = Vec::with_capacity(other.len());
-        for (_, gate) in other.iter() {
+        for (id, gate) in other.iter() {
+            for f in gate.fanins() {
+                if f.index() >= remap.len() {
+                    return Err(TopologyError {
+                        node: id,
+                        fanin: f,
+                    });
+                }
+            }
             let new = match gate {
                 Gate::Const(b) => self.constant(b),
                 Gate::Input(v) => match bind.get(&v) {
@@ -416,7 +463,7 @@ impl Netlist {
             };
             remap.push(new);
         }
-        remap
+        Ok(remap)
     }
 
     /// Returns a copy with dead nodes removed (outputs preserved).
@@ -575,7 +622,9 @@ mod tests {
         let (na, nb2) = (outer.input(a), outer.input(b));
         let ab = outer.and(na, nb2);
         let bind: HashMap<Var, NodeId> = [(x, ab)].into_iter().collect();
-        let map = outer.inline(&inner, &bind);
+        let map = outer
+            .inline(&inner, &bind)
+            .expect("builder netlists are ordered");
         outer.set_output("y", map[y.index()]);
         // x never became an input; b was shared, not duplicated.
         assert!(outer.inputs().iter().all(|&(v, _)| v != x));
@@ -585,6 +634,40 @@ mod tests {
             pd_anf::Anf::parse("a*b ^ b", &mut pool).unwrap(),
         )];
         assert_eq!(crate::sim::check_equiv_anf(&outer, &spec, 16, 3), None);
+    }
+
+    #[test]
+    fn inline_rejects_out_of_order_netlists() {
+        // The public builders can only append in topological order, so
+        // hand-assemble a netlist whose AND gate precedes its operands
+        // (the shape a deserialiser or foreign importer could produce).
+        let mut pool = VarPool::new();
+        let a = pool.input("a", 0, 0);
+        let b = pool.input("b", 0, 1);
+        let mut bad = Netlist::new();
+        bad.nodes.push(Gate::And(NodeId(1), NodeId(2)));
+        bad.nodes.push(Gate::Input(a));
+        bad.nodes.push(Gate::Input(b));
+        bad.input_nodes.insert(a, NodeId(1));
+        bad.input_nodes.insert(b, NodeId(2));
+        bad.outputs.push(("y".to_owned(), NodeId(0)));
+        let mut target = Netlist::new();
+        let err = target
+            .inline(&bad, &HashMap::new())
+            .expect_err("forward reference must be rejected");
+        assert_eq!(err.node, NodeId(0));
+        assert_eq!(err.fanin, NodeId(1));
+        assert!(
+            err.to_string().contains("topologically ordered"),
+            "{err}"
+        );
+        // A self-reference is equally out of order.
+        let mut cyclic = Netlist::new();
+        cyclic.nodes.push(Gate::Not(NodeId(0)));
+        let err = Netlist::new()
+            .inline(&cyclic, &HashMap::new())
+            .expect_err("self reference must be rejected");
+        assert_eq!((err.node, err.fanin), (NodeId(0), NodeId(0)));
     }
 
     #[test]

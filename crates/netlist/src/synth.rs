@@ -30,6 +30,17 @@ const FULL_SEARCH_SUPPORT_LIMIT: usize = 12;
 /// Relative cost of a mux cell versus a two-input gate.
 const MUX_COST: f64 = 1.3;
 
+/// Subexpression-planning budget per top-level [`Synthesizer::emit`]
+/// call. The cost search recurses over cofactors and quotients; on the
+/// small leader cones the decomposer produces it plans a few hundred
+/// subexpressions, but a wide flat cone (a dozen-plus variables, dozens
+/// of terms) can spawn an exponential frontier of restricted
+/// subexpressions. Past the budget the planner degrades to greedy
+/// most-frequent-variable factoring for the rest of that cone; the
+/// counter resets per emitted cone, so one pathological cone cannot
+/// degrade the cones synthesised after it.
+const PLAN_BUDGET: usize = 4_000;
+
 /// How a non-trivial expression is decomposed into gates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Decision {
@@ -73,8 +84,11 @@ pub struct Synthesizer {
     memo: HashMap<Anf, NodeId>,
     /// Variable → node bindings; defaults to primary inputs.
     env: HashMap<Var, NodeId>,
-    /// Chosen decomposition and its estimated cost, per expression.
-    plan_memo: HashMap<Anf, (Decision, f64)>,
+    /// Chosen decomposition, its estimated cost, and whether it was
+    /// computed in degraded (over-budget) mode, per expression.
+    plan_memo: HashMap<Anf, (Decision, f64, bool)>,
+    /// Subexpressions planned so far (see [`PLAN_BUDGET`]).
+    planned: usize,
 }
 
 impl Synthesizer {
@@ -110,17 +124,24 @@ impl Synthesizer {
     }
 
     /// Chooses (and caches) the cheapest decomposition for a non-trivial
-    /// expression.
+    /// expression. A plan memoised while over budget is greedy, not
+    /// cheapest — it is reused only while still over budget and recomputed
+    /// once a later cone's fresh budget allows the full search, so a
+    /// pathological cone cannot poison the cones synthesised after it.
     fn plan(&mut self, expr: &Anf) -> (Decision, f64) {
-        if let Some(&p) = self.plan_memo.get(expr) {
-            return p;
+        let over_budget = self.planned >= PLAN_BUDGET;
+        if let Some(&(d, c, degraded)) = self.plan_memo.get(expr) {
+            if !degraded || over_budget {
+                return (d, c);
+            }
         }
         let p = self.plan_uncached(expr);
-        self.plan_memo.insert(expr.clone(), p);
+        self.plan_memo.insert(expr.clone(), (p.0, p.1, over_budget));
         p
     }
 
     fn plan_uncached(&mut self, expr: &Anf) -> (Decision, f64) {
+        self.planned += 1;
         // Complement peel: 1 ⊕ rest is an inverter around rest.
         if expr.terms().any(|t| t.is_one()) {
             let c = 0.25 + self.cost(&expr.xor(&Anf::one()));
@@ -140,13 +161,16 @@ impl Synthesizer {
             return (Decision::OrOfLiterals, (n - 1) as f64);
         }
         let support: Vec<Var> = expr.support().iter().collect();
-        let candidates: Vec<Var> = if support.len() <= FULL_SEARCH_SUPPORT_LIMIT {
+        let over_budget = self.planned >= PLAN_BUDGET;
+        let candidates: Vec<Var> = if support.len() <= FULL_SEARCH_SUPPORT_LIMIT && !over_budget
+        {
             support
         } else {
             vec![most_frequent_var(expr).expect("nonlinear expression has variables")]
         };
-        let try_shannon =
-            expr.term_count() <= SHANNON_TERM_LIMIT && candidates.len() <= FULL_SEARCH_SUPPORT_LIMIT;
+        let try_shannon = !over_budget
+            && expr.term_count() <= SHANNON_TERM_LIMIT
+            && candidates.len() <= FULL_SEARCH_SUPPORT_LIMIT;
         let mut best = (Decision::Factor(candidates[0]), f64::INFINITY);
         for &v in &candidates {
             let (q, r) = factor_out(expr, v);
@@ -173,6 +197,13 @@ impl Synthesizer {
 
     /// Builds `expr` into `nl`, returning the output node.
     pub fn emit(&mut self, nl: &mut Netlist, expr: &Anf) -> NodeId {
+        // Each top-level cone gets the full planning budget (cached plans
+        // from earlier cones are still reused).
+        self.planned = 0;
+        self.emit_inner(nl, expr)
+    }
+
+    fn emit_inner(&mut self, nl: &mut Netlist, expr: &Anf) -> NodeId {
         if expr.is_zero() {
             return nl.constant(false);
         }
@@ -193,7 +224,7 @@ impl Synthesizer {
     fn emit_uncached(&mut self, nl: &mut Netlist, expr: &Anf) -> NodeId {
         match self.plan(expr).0 {
             Decision::PeelOne => {
-                let inner = self.emit(nl, &expr.xor(&Anf::one()));
+                let inner = self.emit_inner(nl, &expr.xor(&Anf::one()));
                 nl.not(inner)
             }
             Decision::Monomial => {
@@ -232,20 +263,20 @@ impl Synthesizer {
             Decision::Shannon(v) => {
                 let f0 = expr.restrict(v, false);
                 let f1 = expr.restrict(v, true);
-                let n0 = self.emit(nl, &f0);
-                let n1 = self.emit(nl, &f1);
+                let n0 = self.emit_inner(nl, &f0);
+                let n1 = self.emit_inner(nl, &f1);
                 let sel = self.node_for_var(nl, v);
                 nl.mux(sel, n0, n1)
             }
             Decision::Factor(v) => {
                 let (q, r) = factor_out(expr, v);
-                let nq = self.emit(nl, &q);
+                let nq = self.emit_inner(nl, &q);
                 let nv = self.node_for_var(nl, v);
                 let prod = nl.and(nv, nq);
                 if r.is_zero() {
                     prod
                 } else {
-                    let nr = self.emit(nl, &r);
+                    let nr = self.emit_inner(nl, &r);
                     nl.xor(prod, nr)
                 }
             }

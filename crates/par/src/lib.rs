@@ -12,7 +12,9 @@
 //!
 //! ## Knobs
 //!
-//! The worker count is `PD_THREADS` when set (clamped to ≥ 1), otherwise
+//! The worker count is `PD_THREADS` when set (clamped to ≥ 1, so
+//! `PD_THREADS=0` means serial; an unparseable value is reported on
+//! stderr once and ignored), otherwise
 //! [`std::thread::available_parallelism`]. With one worker every primitive
 //! degrades to the serial loop — no threads are spawned, no overhead is
 //! paid — so single-core machines and `PD_THREADS=1` runs are exactly the
@@ -53,22 +55,47 @@ fn as_worker<R>(f: impl FnOnce() -> R) -> R {
     r
 }
 
+/// Interprets a raw `PD_THREADS` value.
+///
+/// `Ok(None)` when unset or empty (fall back to available parallelism),
+/// `Ok(Some(n))` for a valid count — `0` is clamped to `1` (serial), not
+/// ignored — and `Err(raw)` when the value does not parse as an unsigned
+/// integer, so the caller can warn instead of silently discarding it.
+fn parse_thread_count(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw.map(str::trim) {
+        None | Some("") => Ok(None),
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) => Ok(Some(n.max(1))),
+            Err(_) => Err(text.to_owned()),
+        },
+    }
+}
+
 /// The number of worker threads parallel calls may use.
 ///
-/// `PD_THREADS` (≥ 1) wins; otherwise the machine's available parallelism.
-/// Cached after the first call.
+/// `PD_THREADS` (≥ 1) wins — `PD_THREADS=0` is clamped to 1 — otherwise
+/// the machine's available parallelism. An unparseable value is reported
+/// on stderr once and then ignored. Cached after the first call.
 pub fn max_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        if let Some(n) = std::env::var("PD_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            return n.max(1);
+        let raw = std::env::var("PD_THREADS").ok();
+        let fallback = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        match parse_thread_count(raw.as_deref()) {
+            Ok(Some(n)) => n,
+            Ok(None) => fallback(),
+            Err(bad) => {
+                eprintln!(
+                    "pd-par: ignoring unparseable PD_THREADS={bad:?} \
+                     (expected an unsigned integer); using available parallelism"
+                );
+                fallback()
+            }
         }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
     })
 }
 
@@ -265,6 +292,31 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(parse_thread_count(Some("0")), Ok(Some(1)));
+    }
+
+    #[test]
+    fn valid_thread_counts_parse() {
+        assert_eq!(parse_thread_count(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_thread_count(Some("8")), Ok(Some(8)));
+        assert_eq!(parse_thread_count(Some(" 4 ")), Ok(Some(4)), "whitespace trimmed");
+    }
+
+    #[test]
+    fn unset_or_empty_falls_back() {
+        assert_eq!(parse_thread_count(None), Ok(None));
+        assert_eq!(parse_thread_count(Some("")), Ok(None));
+    }
+
+    #[test]
+    fn unparseable_values_are_reported_not_swallowed() {
+        assert_eq!(parse_thread_count(Some("abc")), Err("abc".to_owned()));
+        assert_eq!(parse_thread_count(Some("-2")), Err("-2".to_owned()));
+        assert_eq!(parse_thread_count(Some("4.5")), Err("4.5".to_owned()));
     }
 
     #[test]

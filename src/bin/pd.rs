@@ -46,9 +46,11 @@
 //!   echo '{...}' | pd flow -         the same, from stdin
 //!
 //! FLOW-OPTIONS:
-//!   --out F       write the per-stage JSON stats to F
-//!   --no-verify   skip the BDD oracle (benchmarking; same as PD_SKIP_VERIFY=1)
-//!   -k <N>        group size override
+//!   --out F        write the per-stage JSON stats to F
+//!   --no-verify    skip the BDD oracle (benchmarking; same as PD_SKIP_VERIFY=1)
+//!   --full-reduce  from-scratch Reduce instead of the incremental
+//!                  refinement (A/B; same as PD_FULL_REDUCE=1)
+//!   -k <N>         group size override
 //! ```
 
 use progressive_decomposition::prelude::*;
@@ -158,6 +160,7 @@ fn run_flow(args: &[String]) -> Result<(), String> {
     };
     let mut out_path: Option<String> = None;
     let mut no_verify = false;
+    let mut full_reduce = false;
     let mut group_size: Option<usize> = None;
     let mut target: Option<String> = None;
     let mut it = args.iter();
@@ -167,6 +170,7 @@ fn run_flow(args: &[String]) -> Result<(), String> {
                 out_path = Some(it.next().ok_or("--out needs a path")?.clone());
             }
             "--no-verify" => no_verify = true,
+            "--full-reduce" => full_reduce = true,
             "-k" => {
                 let v = it.next().ok_or("-k needs a value")?;
                 let k = v.parse().map_err(|_| format!("bad group size {v:?}"))?;
@@ -176,8 +180,8 @@ fn run_flow(args: &[String]) -> Result<(), String> {
                 group_size = Some(k);
             }
             "-h" | "--help" => {
-                return Err("usage: pd flow [--out F] [--no-verify] [-k N] \
-                            <flow-spec.json | - | NAMES>"
+                return Err("usage: pd flow [--out F] [--no-verify] [--full-reduce] \
+                            [-k N] <flow-spec.json | - | NAMES>"
                     .into())
             }
             other if target.is_none() => target = Some(other.to_owned()),
@@ -212,6 +216,9 @@ fn run_flow(args: &[String]) -> Result<(), String> {
     };
     if no_verify {
         cfg.verify = false;
+    }
+    if full_reduce {
+        cfg.full_reduce = true;
     }
     if let Some(k) = group_size {
         cfg.pd.group_size = k;

@@ -28,11 +28,28 @@
 //! ```text
 //! ANF spec ──► decompose ──► reduce ──► factor ──► techmap ──► sta
 //!             (pd-core,    (pd-core,  (pd-factor  (pd-cells   (pd-cells
-//!              no §5.3/4)   full)      per block)  mapper)     timing)
+//!              no §5.3/4)   refine)    per block)  mapper)     timing)
 //!                  │            │          │           │
 //!                  ▼            ▼          ▼           ▼
 //!              BDD ≡ spec   BDD ≡ prev  BDD ≡ prev  BDD ≡ prev
 //! ```
+//!
+//! The **Reduce** stage is incremental: instead of re-running the whole
+//! decomposition with the §5.3/§5.4 passes enabled (the pipeline's
+//! dominant cost through PR 2), `pd_core::refine` refines the stage-1
+//! hierarchy in place. A dirty-block worklist reconstructs each block's
+//! pair list from its downstream consumers, runs the unchanged LinDep and
+//! SizeReduce passes on it (plus a cost-gated inline of single-use
+//! leaders), and re-enqueues only the blocks whose basis an applied patch
+//! actually rewrote; disjoint-footprint blocks refine concurrently on the
+//! `pd-par` pool. Residual non-literal outputs left by inlining are
+//! re-abstracted by bounded "close" rounds of the main loop over the
+//! (tiny) residue. Every rewrite preserves `Σ inner·outer` exactly and
+//! the BDD oracle re-proves the boundary, so the refined hierarchy is
+//! equivalent by construction *and* by check. `PD_FULL_REDUCE=1` (or
+//! [`flow::FlowConfig::full_reduce`]) restores the from-scratch re-run
+//! for A/B comparison — `BENCH_RUNTIME.json` tracks both as
+//! `flow/<circuit>/reduce-incremental` vs `flow/<circuit>/reduce-full`.
 //!
 //! From the command line: `pd flow maj15,counter12`, `pd flow all`, or
 //! `pd flow spec.json` with a [`flow::spec`] document. In code:

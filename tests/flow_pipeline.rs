@@ -110,7 +110,8 @@ fn env_combos_agree_and_verify_via_subprocess() {
                 .arg(&out_path)
                 .env("PD_THREADS", threads)
                 .env_remove("PD_NAIVE_KERNEL")
-                .env_remove("PD_SKIP_VERIFY");
+                .env_remove("PD_SKIP_VERIFY")
+                .env_remove("PD_FULL_REDUCE");
             if naive {
                 cmd.env("PD_NAIVE_KERNEL", "1");
             }
@@ -181,6 +182,31 @@ fn pd_flow_all_generators_verify() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("11/11 circuits clean"), "{stdout}");
+}
+
+/// Both Reduce paths stay green end to end: the same circuit through the
+/// default (incremental) stage and through the `PD_FULL_REDUCE=1`
+/// from-scratch fallback, oracle on, single-threaded.
+#[test]
+fn full_reduce_fallback_verifies_via_subprocess() {
+    for full in [false, true] {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_pd"));
+        cmd.args(["flow", "maj7"])
+            .env("PD_THREADS", "1")
+            .env_remove("PD_SKIP_VERIFY")
+            .env_remove("PD_FULL_REDUCE");
+        if full {
+            cmd.env("PD_FULL_REDUCE", "1");
+        }
+        let out = cmd.output().expect("spawn pd flow maj7");
+        assert!(
+            out.status.success(),
+            "full_reduce={full} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("1/1 circuits clean"), "{stdout}");
+    }
 }
 
 /// A flow spec document on stdin configures the batch.

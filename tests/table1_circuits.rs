@@ -143,24 +143,35 @@ fn every_baseline_matches_its_spec() {
 
 /// Golden end-to-end numbers: circuit → (literals after decompose,
 /// after reduce, after factor, mapped cell count). Pinned from the flow's
-/// first green run; deterministic across `PD_NAIVE_KERNEL` and
-/// `PD_THREADS` (the CI naive-kernel job re-checks that). An intentional
-/// heuristic change moves these — update the table alongside it.
+/// first green run with the **incremental** Reduce stage (PR 3);
+/// deterministic across `PD_NAIVE_KERNEL` and `PD_THREADS` (the CI
+/// naive-kernel job re-checks that). An intentional heuristic change
+/// moves these — update the table alongside it.
 const FLOW_GOLDEN: [(&str, [usize; 4]); 6] = [
-    ("maj15", [243, 176, 176, 77]),
-    ("counter12", [156, 137, 137, 64]),
-    ("lzd12", [351, 249, 249, 41]),
-    ("adder10", [117, 117, 117, 59]),
-    ("comparator10", [133, 166, 166, 58]),
-    ("three8", [172, 172, 172, 64]),
+    ("maj15", [243, 179, 179, 97]),
+    ("counter12", [156, 139, 139, 78]),
+    ("lzd12", [351, 271, 271, 117]),
+    ("adder10", [117, 102, 102, 59]),
+    ("comparator10", [133, 140, 140, 54]),
+    ("three8", [172, 160, 160, 64]),
 ];
 
-#[test]
-fn full_flow_literal_counts_match_golden() {
+/// The same pins for the retained from-scratch Reduce path
+/// (`PD_FULL_REDUCE=1` / [`FlowConfig::full_reduce`]) — PR 2's original
+/// goldens, so the A/B fallback is protected against silent drift too.
+/// Two circuits suffice; the full battery runs on the incremental path.
+const FULL_REDUCE_GOLDEN: [(&str, [usize; 4]); 2] = [
+    ("maj15", [243, 176, 176, 77]),
+    ("counter12", [156, 137, 137, 64]),
+];
+
+/// Runs each golden circuit through the flow under `cfg` and returns a
+/// human-readable diff of every mismatch (empty when all pins hold).
+fn flow_golden_diff(golden: &[(&str, [usize; 4])], cfg: &FlowConfig) -> String {
     let mut diff = String::new();
-    for (name, want) in FLOW_GOLDEN {
+    for (name, want) in golden {
         let input = circuit_by_name(name).expect("golden circuits resolve");
-        let mut flow = Flow::new(input, FlowConfig::default());
+        let mut flow = Flow::new(input, cfg.clone());
         let summary = flow
             .run_to_completion()
             .unwrap_or_else(|e| panic!("{name}: flow failed: {e}"));
@@ -181,7 +192,7 @@ fn full_flow_literal_counts_match_golden() {
             stage_literals(StageKind::Factor),
             summary.cells,
         ];
-        if got != want {
+        if got != *want {
             use std::fmt::Write as _;
             let _ = writeln!(
                 diff,
@@ -200,11 +211,61 @@ fn full_flow_literal_counts_match_golden() {
             );
         }
     }
+    diff
+}
+
+#[test]
+fn full_flow_literal_counts_match_golden() {
+    // Pin the incremental path explicitly: unlike the other env knobs,
+    // an ambient PD_FULL_REDUCE=1 (read by FlowConfig::default) changes
+    // results, and these goldens are the incremental ones.
+    let cfg = FlowConfig {
+        full_reduce: false,
+        ..FlowConfig::default()
+    };
+    let diff = flow_golden_diff(&FLOW_GOLDEN, &cfg);
     assert!(
         diff.is_empty(),
         "flow output drifted from the golden Table-1 numbers:\n{diff}\
          If the heuristic change is intentional, update FLOW_GOLDEN."
     );
+}
+
+#[test]
+fn full_reduce_fallback_matches_legacy_golden() {
+    let cfg = FlowConfig {
+        full_reduce: true,
+        ..FlowConfig::default()
+    };
+    let diff = flow_golden_diff(&FULL_REDUCE_GOLDEN, &cfg);
+    assert!(
+        diff.is_empty(),
+        "the PD_FULL_REDUCE fallback drifted from PR 2's goldens:\n{diff}\
+         If the heuristic change is intentional, update FULL_REDUCE_GOLDEN."
+    );
+}
+
+#[test]
+fn incremental_reduce_literals_stay_within_two_percent_of_full() {
+    // The acceptance bound of the incremental Reduce on the paper's
+    // headline circuits — exactly those pinned in FULL_REDUCE_GOLDEN
+    // (maj15, counter12): its literal count may trail the from-scratch
+    // refinement by at most 2%. (Other circuits trade differently; see
+    // the ROADMAP's QoR note.)
+    for (name, full) in &FULL_REDUCE_GOLDEN {
+        let (_, incr) = FLOW_GOLDEN
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} missing from FLOW_GOLDEN"));
+        let bound = (full[1] as f64) * 1.02;
+        assert!(
+            (incr[1] as f64) <= bound,
+            "{name}: incremental reduce at {} literals exceeds 2% over the \
+             from-scratch {} (bound {bound:.1})",
+            incr[1],
+            full[1]
+        );
+    }
 }
 
 #[test]
