@@ -14,6 +14,12 @@
 //! run with the oracle off (the `PD_SKIP_VERIFY` escape hatch exists for
 //! exactly this) so they time the transforms, not the checker.
 //!
+//! The Factor stage's two implementations are A/B-tracked as
+//! `flow/<circuit>/factor-global` (the workspace-wide shared-divisor
+//! network) versus `factor-local` (the per-block `PD_LOCAL_FACTOR=1`
+//! path), each with its literal count *and mapped cell count*, so the
+//! cross-block sharing's QoR effect is recorded next to its cost.
+//!
 //! The Reduce stage's two implementations are A/B-tracked directly:
 //! `flow/<circuit>/reduce-incremental` times `pd_core::refine` applied to
 //! a prebuilt stage-1 hierarchy (the default in-place worklist path), and
@@ -52,6 +58,8 @@ pub struct Measurement {
     pub literals_after: Option<usize>,
     /// Blocks in the produced hierarchy (decompose cases).
     pub blocks: Option<usize>,
+    /// Mapped cell count (flow stages that map).
+    pub cells: Option<usize>,
     /// Mapped cell area in µm² (flow techmap/STA stages).
     pub area_um2: Option<f64>,
     /// Critical-path delay in ns (flow STA stage).
@@ -136,11 +144,13 @@ pub fn run(opts: &RuntimeOptions) -> Vec<Measurement> {
             literals_before: Some(literals_before),
             literals_after: Some(after),
             blocks: Some(blocks),
+            cells: None,
             area_um2: None,
             delay_ns: None,
         });
     }
     out.extend(flow_cases(opts));
+    out.extend(factor_ab_cases(opts));
     out.extend(reduce_ab_cases(opts));
     out.extend(kernel_cases(opts));
     out
@@ -195,6 +205,7 @@ fn flow_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
                 literals_before: None,
                 literals_after: report.literals,
                 blocks: report.blocks,
+                cells: report.cells,
                 area_um2: report.area_um2,
                 delay_ns: report.delay_ns,
             });
@@ -208,6 +219,7 @@ fn flow_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
             literals_before: None,
             literals_after: last_reports.iter().rev().find_map(|r| r.literals),
             blocks: None,
+            cells: last_reports.iter().rev().find_map(|r| r.cells),
             area_um2: last_reports.iter().rev().find_map(|r| r.area_um2),
             delay_ns: last_reports.iter().rev().find_map(|r| r.delay_ns),
         });
@@ -240,6 +252,7 @@ fn reduce_ab_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
             literals_before: Some(literals_before),
             literals_after: Some(refined_literals),
             blocks: None,
+            cells: None,
             area_um2: None,
             delay_ns: None,
         });
@@ -257,9 +270,74 @@ fn reduce_ab_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
             literals_before: Some(literals_before),
             literals_after: Some(full_literals),
             blocks: None,
+            cells: None,
             area_um2: None,
             delay_ns: None,
         });
+    }
+    out
+}
+
+/// Circuits for the Factor-stage A/B (the acceptance circuits of the
+/// global-factoring work plus the counter).
+const FACTOR_AB_CIRCUITS: [&str; 3] = ["maj15", "counter12", "lzd12"];
+
+/// A/B comparison of the Factor stage's two implementations: the
+/// workspace-wide shared-divisor `GlobalNetwork` (`factor-global`, the
+/// default) versus the per-block resynthesis retained behind
+/// `PD_LOCAL_FACTOR=1` (`factor-local`). Decompose + Reduce run once per
+/// configuration; each repetition then clones that flow state and times
+/// the Factor stage alone, with the mapped cell count recorded so the
+/// QoR side of the trade is tracked next to the speed.
+fn factor_ab_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let reps = opts.reps.max(1);
+    for circuit in FACTOR_AB_CIRCUITS {
+        let input = circuit_by_name(circuit).expect("bench circuits resolve");
+        let cfg = FlowConfig {
+            verify: false,
+            local_factor: false,
+            full_reduce: false,
+            ..FlowConfig::default()
+        };
+        // Decompose + Reduce are identical for both Factor paths; pay
+        // the (arbitrated-Reduce) prefix once and fork the flow state.
+        let mut pre = Flow::new(input, cfg);
+        pre.run_next().expect("decompose");
+        pre.run_next().expect("reduce");
+        for local in [false, true] {
+            let mut pre = pre.clone();
+            pre.set_local_factor(local);
+            let mut wall: Vec<f64> = Vec::new();
+            let mut literals = None;
+            let mut cells = None;
+            for _ in 0..reps {
+                let mut flow = pre.clone();
+                {
+                    let report = flow.run_next().expect("factor");
+                    wall.push(report.wall_ms);
+                    literals = report.literals;
+                }
+                flow.run_next().expect("techmap");
+                cells = flow.reports().last().and_then(|r| r.cells);
+            }
+            wall.sort_by(f64::total_cmp);
+            out.push(Measurement {
+                name: format!(
+                    "flow/{circuit}/factor-{}",
+                    if local { "local" } else { "global" }
+                ),
+                median_ms: wall[wall.len() / 2],
+                min_ms: wall[0],
+                reps,
+                literals_before: None,
+                literals_after: literals,
+                blocks: None,
+                cells,
+                area_um2: None,
+                delay_ns: None,
+            });
+        }
     }
     out
 }
@@ -277,6 +355,7 @@ fn kernel_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
             literals_before: None,
             literals_after: None,
             blocks: None,
+            cells: None,
             area_um2: None,
             delay_ns: None,
         });
@@ -354,6 +433,9 @@ pub fn to_json(results: &[Measurement], opts: &RuntimeOptions) -> String {
             if let Some(bl) = m.blocks {
                 fields.push(("blocks", Json::from(bl)));
             }
+            if let Some(c) = m.cells {
+                fields.push(("cells", Json::from(c)));
+            }
             if let Some(a) = m.area_um2 {
                 fields.push(("area_um2", Json::from(a)));
             }
@@ -418,6 +500,14 @@ mod tests {
             for stage in StageKind::ALL {
                 let name = format!("flow/{circuit}/{}", stage.name());
                 assert!(results.iter().any(|m| m.name == name), "{name} missing");
+            }
+            for ab in ["factor-global", "factor-local"] {
+                let name = format!("flow/{circuit}/{ab}");
+                let m = results
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("{name} missing"));
+                assert!(m.cells.unwrap_or(0) > 0, "{name} lacks cells");
             }
             for ab in ["reduce-incremental", "reduce-full"] {
                 let name = format!("flow/{circuit}/{ab}");

@@ -59,6 +59,13 @@ pub struct PdConfig {
     pub enable_size_reduction: bool,
     /// Enable identity discovery and application (§5.5).
     pub enable_identities: bool,
+    /// Let [`crate::refine`]'s final close round arbitrate between the
+    /// incrementally refined hierarchy and a from-scratch refined
+    /// re-decomposition, keeping whichever synthesises to fewer gates.
+    /// This bounds the incremental path's quality regression to zero at
+    /// the cost of one extra decomposition; disable to time or test the
+    /// pure worklist path.
+    pub refine_arbitration: bool,
 }
 
 impl Default for PdConfig {
@@ -75,6 +82,7 @@ impl Default for PdConfig {
             enable_linear_minimisation: true,
             enable_size_reduction: true,
             enable_identities: true,
+            refine_arbitration: true,
         }
     }
 }
@@ -106,6 +114,14 @@ impl PdConfig {
     pub fn without_basis_refinement(mut self) -> Self {
         self.enable_linear_minimisation = false;
         self.enable_size_reduction = false;
+        self
+    }
+
+    /// Disables the refine pass's final arbitration round (see
+    /// [`PdConfig::refine_arbitration`]); used to exercise or time the
+    /// pure incremental worklist.
+    pub fn without_refine_arbitration(mut self) -> Self {
+        self.refine_arbitration = false;
         self
     }
 

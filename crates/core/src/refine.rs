@@ -43,12 +43,39 @@
 //! keeps the result bit-identical at any `PD_THREADS` setting (and under
 //! `PD_NAIVE_KERNEL=1`, whose reference passes reach the same fixpoints).
 //!
+//! ## Cross-block divisor table
+//!
+//! The whole pass shares one [`pd_factor::DivisorTable`] view of the
+//! hierarchy's leaders (hash-consed by canonical monomial order):
+//!
+//! * **worklist reuse** — when a refined pair needs a new leader for an
+//!   inner expression an *earlier* block already computes, the existing
+//!   leader is used as the divisor instead of minting a duplicate (the
+//!   table passed to a wave only lists blocks outside the wave, so
+//!   concurrently computed patches never reference a leader that is
+//!   being rewritten);
+//! * **leader CSE** — before the worklist and after every close round,
+//!   [`refine`] folds duplicated leaders (stage-1 runs over overlapping
+//!   groups rediscover the same expressions; re-abstracted residue can
+//!   rebuild an existing leader verbatim) onto their first definition.
+//!
+//! ## Close rounds and arbitration
+//!
 //! When the inline step leaves non-literal output expressions behind,
 //! bounded *close* rounds re-abstract that residue with the main loop
-//! (refinement enabled) and the worklist re-drains — see [`refine`]. The
-//! from-scratch fallback in `pd-flow` (`PD_FULL_REDUCE=1`) triggers only
-//! when explicitly requested; the incremental path never falls back on
-//! its own, since every rewrite it applies is exact.
+//! (refinement enabled) and the worklist re-drains — see [`refine`].
+//! Because the worklist can only rearrange the block structure stage 1
+//! chose, a final **arbitration close** re-decomposes the specification
+//! from scratch with refinement enabled and keeps whichever hierarchy
+//! emits fewer gates ([`PdConfig::refine_arbitration`]; ties keep the
+//! incremental result). This bounds the incremental path's quality
+//! regression at zero for one extra decomposition — on circuits where
+//! stage 1 grouped well (comparator10) the worklist result survives and
+//! wins outright; where it grouped poorly (the ROADMAP's lzd12 case,
+//! 117 vs 41 mapped cells before this pass) the re-decomposition does.
+//! The `pd-flow` fallback (`PD_FULL_REDUCE=1`) remains the pure
+//! from-scratch A/B path; every incremental rewrite is still exact, so
+//! correctness never depends on which side arbitration picks.
 
 use crate::config::PdConfig;
 use crate::decompose::{Block, Decomposition, ProgressiveDecomposer};
@@ -56,6 +83,7 @@ use crate::lindep;
 use crate::pairs::{Pair, PairList};
 use crate::size_reduce;
 use pd_anf::{Anf, Monomial, NullSpace, Var, VarSet};
+use pd_factor::DivisorTable;
 use std::collections::{HashMap, HashSet};
 
 /// What one [`refine`] run did.
@@ -74,6 +102,15 @@ pub struct RefineStats {
     /// Blocks appended by the residual close pass (re-abstraction of
     /// output expressions the inlining flattened).
     pub closed_blocks: usize,
+    /// Times an existing leader was reused as a divisor instead of a
+    /// fresh (duplicate) leader being minted: worklist rewrites that hit
+    /// the cross-block divisor table, plus close-round CSE merges of
+    /// re-abstracted residue against it.
+    pub leader_reuses: usize,
+    /// Whether the final close round replaced the worklist result with a
+    /// from-scratch refined re-decomposition that synthesised smaller
+    /// (see [`PdConfig::refine_arbitration`]).
+    pub arbitrated: bool,
     /// Hierarchy literal count before refinement.
     pub literals_before: usize,
     /// Hierarchy literal count after refinement.
@@ -102,6 +139,9 @@ struct Patch {
     consumers: Vec<(Slot, Anf)>,
     removed: usize,
     added: usize,
+    /// Pairs represented by an existing earlier block's leader (divisor
+    /// table hits) instead of a fresh duplicate.
+    reuses: usize,
 }
 
 /// Applies LinDep (§5.3) and SizeReduce (§5.4) to every block of `d` in
@@ -128,6 +168,10 @@ pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
         return stats;
     }
     let timing = std::env::var_os("PD_REFINE_DEBUG").is_some();
+    // Hierarchies can arrive with duplicated leaders (stage-1 runs over
+    // overlapping groups rediscover the same expressions); fold them into
+    // one definition before any refinement work is spent on the copies.
+    stats.leader_reuses += leader_cse(d);
     let t0 = std::time::Instant::now();
     drain_worklist(d, cfg, &mut stats, timing);
     if timing {
@@ -164,6 +208,10 @@ pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
         d.pool = sub.pool;
         d.blocks.extend(sub.blocks);
         d.outputs = sub.outputs;
+        // The re-abstraction ran blind to the existing hierarchy; query
+        // the divisor table so residue blocks that rebuilt an existing
+        // leader's expression collapse onto the original definition.
+        stats.leader_reuses += leader_cse(d);
         if timing {
             eprintln!("      [refine/close {round}: {:?}]", t1.elapsed());
         }
@@ -199,9 +247,101 @@ pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
     // Blocks whose leaders all died (or dissolved into their consumers)
     // contribute nothing any more; passthrough-only shells emit no gates.
     d.blocks.retain(|b| !b.basis.is_empty());
+    // Arbitration close: the worklist can only rearrange the structure
+    // stage 1 chose, and on some circuits (the ROADMAP's lzd12 case)
+    // those group choices map far worse than the ones a refined run
+    // makes from scratch. Re-decompose the specification with
+    // refinement enabled and keep whichever hierarchy synthesises to
+    // fewer gates — the estimate prices real emission (majority/OR
+    // forms, cross-cone sharing), where literal counts mislead. Ties
+    // keep the incremental result, so refine-friendly circuits pay no
+    // churn; the comparison is deterministic at any thread count.
+    if cfg.refine_arbitration {
+        let t3 = std::time::Instant::now();
+        let alt = ProgressiveDecomposer::new(cfg.clone())
+            .decompose(d.pool.clone(), d.spec.clone());
+        if gate_estimate(&alt) < gate_estimate(d) {
+            *d = alt;
+            stats.arbitrated = true;
+        }
+        if timing {
+            eprintln!(
+                "      [refine/arbitrate: {:?} ({})]",
+                t3.elapsed(),
+                if stats.arbitrated { "replaced" } else { "kept" }
+            );
+        }
+    }
     stats.literals_after = d.hierarchy_literal_count();
     debug_assert_eq!(d.validate(), Ok(()));
     stats
+}
+
+/// Live (output-reachable) gate count of the hierarchy's emitted netlist
+/// — the deterministic cost measure the arbitration round compares.
+fn gate_estimate(d: &Decomposition) -> usize {
+    let nl = d.to_netlist();
+    nl.live_mask().iter().filter(|&&b| b).count()
+}
+
+/// Folds duplicated leaders across the whole hierarchy onto their first
+/// definition: every block's basis expressions are interned in a
+/// [`DivisorTable`] (hash-consed by canonical monomial order), and a
+/// later leader computing an already-tabled expression is renamed away
+/// in every downstream expression, its basis entry dropped. Returns the
+/// number of merges. Exact: consumers end up referencing a variable
+/// defined strictly earlier with the identical expression.
+fn leader_cse(d: &mut Decomposition) -> usize {
+    let mut table = DivisorTable::new();
+    let mut rename: HashMap<Var, Var> = HashMap::new();
+    let mut merged = 0usize;
+    for bi in 0..d.blocks.len() {
+        let b = &mut d.blocks[bi];
+        // Bring this block's view up to date with earlier merges. A
+        // rename target is always the earliest definition and is never
+        // itself renamed, so one pass needs no chasing.
+        if !rename.is_empty() {
+            for (_, e) in b.basis.iter_mut() {
+                if e.support().iter().any(|v| rename.contains_key(&v)) {
+                    *e = e.map_vars(|v| rename.get(&v).copied().unwrap_or(v));
+                }
+            }
+            for v in b.group.iter_mut() {
+                if let Some(&w) = rename.get(v) {
+                    *v = w;
+                }
+            }
+            b.group.sort_unstable();
+            b.group.dedup();
+            for v in b.passthrough.iter_mut() {
+                if let Some(&w) = rename.get(v) {
+                    *v = w;
+                }
+            }
+            b.passthrough.sort_unstable();
+            b.passthrough.dedup();
+        }
+        let mut keep: Vec<(Var, Anf)> = Vec::with_capacity(b.basis.len());
+        for (v, e) in std::mem::take(&mut b.basis) {
+            match table.insert(v, bi, &e) {
+                Some(w) if w != v => {
+                    rename.insert(v, w);
+                    table.note_reuse(&e);
+                    merged += 1;
+                }
+                _ => keep.push((v, e)),
+            }
+        }
+        b.basis = keep;
+    }
+    if !rename.is_empty() {
+        for (_, e) in d.outputs.iter_mut() {
+            if e.support().iter().any(|v| rename.contains_key(&v)) {
+                *e = e.map_vars(|v| rename.get(&v).copied().unwrap_or(v));
+            }
+        }
+    }
+    merged
 }
 
 /// Runs the dirty-block worklist until no block changes: every block
@@ -241,10 +381,25 @@ fn drain_worklist(
         stats.waves += 1;
         stats.passes += wave.len();
         let snapshot = &*d;
+        // The wave's shared divisor table: every leader of a block NOT
+        // being refined in this wave (their expressions are stable while
+        // the wave's patches are computed). Built once per wave from the
+        // snapshot, so every block prices reuse against the same table
+        // regardless of the parallel schedule.
+        let in_wave: HashSet<usize> = wave.iter().copied().collect();
+        let mut table = DivisorTable::new();
+        for (bj, b) in snapshot.blocks.iter().enumerate() {
+            if in_wave.contains(&bj) {
+                continue;
+            }
+            for (v, e) in &b.basis {
+                table.insert(*v, bj, e);
+            }
+        }
         let tw = std::time::Instant::now();
         let patches: Vec<Option<Patch>> = pd_par::par_map(&wave, |&bi| {
             let tb = std::time::Instant::now();
-            let p = refine_block(snapshot, bi, cfg);
+            let p = refine_block(snapshot, bi, cfg, &table);
             if timing {
                 eprintln!("        [refine/block {bi}: {:?}]", tb.elapsed());
             }
@@ -266,6 +421,7 @@ fn drain_worklist(
             stats.blocks_changed += 1;
             stats.leaders_removed += patch.removed;
             stats.leaders_added += patch.added;
+            stats.leader_reuses += patch.reuses;
             for bj in apply_patch(d, patch) {
                 if passes_of[bj] < MAX_PASSES_PER_BLOCK {
                     dirty[bj] = true;
@@ -312,8 +468,16 @@ fn leader_set(b: &Block) -> VarSet {
 
 /// Refines one block against the snapshot; returns `None` when nothing
 /// changed. Pure: allocates selector and leader variables from a pool
-/// clone only (see [`Patch`]).
-fn refine_block(d: &Decomposition, bi: usize, cfg: &PdConfig) -> Option<Patch> {
+/// clone only (see [`Patch`]). `table` holds the wave's stable leaders
+/// (hash-consed by expression) so a pair whose inner expression an
+/// earlier block already computes reuses that leader as a divisor
+/// instead of minting a duplicate.
+fn refine_block(
+    d: &Decomposition,
+    bi: usize,
+    cfg: &PdConfig,
+    table: &DivisorTable,
+) -> Option<Patch> {
     let block = &d.blocks[bi];
     let vset = leader_set(block);
     if vset.is_empty() {
@@ -373,6 +537,7 @@ fn refine_block(d: &Decomposition, bi: usize, cfg: &PdConfig) -> Option<Patch> {
             consumers: Vec::new(),
             removed: block.basis.len(),
             added: 0,
+            reuses: 0,
         });
     }
     // Map inner monomials over leader variables to the group-level
@@ -471,6 +636,8 @@ fn refine_block(d: &Decomposition, bi: usize, cfg: &PdConfig) -> Option<Patch> {
     let mut locals: Vec<Var> = Vec::new();
     let mut fresh_basis: Vec<(Var, Anf)> = Vec::new();
     let mut reps: Vec<Anf> = Vec::new();
+    let mut reused: VarSet = VarSet::new();
+    let mut reuses = 0usize;
     for p in &pl.pairs {
         let rep = if p.inner.is_constant() {
             p.inner.clone()
@@ -478,6 +645,12 @@ fn refine_block(d: &Decomposition, bi: usize, cfg: &PdConfig) -> Option<Patch> {
             Anf::from_monomial(m.clone())
         } else if let Some(v) = p.inner.as_literal() {
             Anf::var(v)
+        } else if let Some(w) = table.lookup_before(&p.inner, bi) {
+            // An earlier block already computes this expression: use its
+            // leader as the divisor instead of minting a duplicate.
+            reused.insert(w);
+            reuses += 1;
+            Anf::var(w)
         } else {
             let w = pool.fresh_derived(block.iteration);
             locals.push(w);
@@ -542,8 +715,12 @@ fn refine_block(d: &Decomposition, bi: usize, cfg: &PdConfig) -> Option<Patch> {
     let added = fresh_basis.len();
     basis.extend(fresh_basis);
     let basis_vars: VarSet = basis.iter().map(|(v, _)| *v).collect();
-    let mut passthrough: Vec<Var> =
-        used.iter().filter(|v| !basis_vars.contains(*v)).collect();
+    // Reused leaders belong to their defining blocks, not this one's
+    // passthrough set (they are not group-level inputs of this block).
+    let mut passthrough: Vec<Var> = used
+        .iter()
+        .filter(|v| !basis_vars.contains(*v) && !reused.contains(*v))
+        .collect();
     passthrough.sort();
     // Assemble the rewritten consumers: untouched terms plus every pair's
     // representation times its per-slot coefficient.
@@ -589,6 +766,7 @@ fn refine_block(d: &Decomposition, bi: usize, cfg: &PdConfig) -> Option<Patch> {
         consumers,
         removed,
         added,
+        reuses,
     })
 }
 
@@ -740,6 +918,71 @@ mod tests {
         refine(&mut d, &PdConfig::default());
         assert!(d.check_equivalence(64, 3).is_none());
         assert_eq!(d.validate(), Ok(()));
+    }
+
+    #[test]
+    fn leader_cse_folds_duplicate_leaders() {
+        // Two blocks computing the same expression over the same group:
+        // the second leader must merge onto the first, with every
+        // downstream use renamed.
+        let mut pool = VarPool::new();
+        let a = pool.input("a", 0, 0);
+        let b = pool.input("b", 0, 1);
+        let e = Anf::var(a).and(&Anf::var(b)).xor(&Anf::var(a));
+        let s1 = pool.derived("s1", 1);
+        let s2 = pool.derived("s2", 2);
+        let mk_block = |iteration: u32, v: Var, e: &Anf| Block {
+            iteration,
+            group: vec![a, b],
+            basis: vec![(v, e.clone())],
+            passthrough: vec![],
+            substitutions: vec![],
+        };
+        let spec = vec![(
+            "y".to_owned(),
+            e.clone().and(&e),
+        )];
+        let d = Decomposition {
+            spec: spec.clone(),
+            blocks: vec![mk_block(1, s1, &e), mk_block(2, s2, &e)],
+            outputs: vec![("y".to_owned(), Anf::var(s1).and(&Anf::var(s2)))],
+            pool,
+            iterations: 2,
+            trace: Vec::new(),
+        };
+        let mut d = d;
+        let merged = super::leader_cse(&mut d);
+        assert_eq!(merged, 1);
+        assert_eq!(d.blocks[1].basis.len(), 0, "duplicate leader dropped");
+        assert!(
+            !d.outputs[0].1.contains_var(s2),
+            "output rewritten to the surviving leader"
+        );
+        assert!(d.outputs[0].1.contains_var(s1));
+    }
+
+    #[test]
+    fn arbitration_is_optional_and_never_worse() {
+        let mut pool = VarPool::new();
+        let maj = majority_anf(&mut pool, 11);
+        let spec = vec![("maj".into(), maj)];
+        let mut plain = unrefined(pool.clone(), spec.clone());
+        let mut arb = plain.clone();
+        let cfg_off = PdConfig::default().without_refine_arbitration();
+        let s_off = refine(&mut plain, &cfg_off);
+        assert!(!s_off.arbitrated);
+        let s_on = refine(&mut arb, &PdConfig::default());
+        let gates = |d: &Decomposition| {
+            d.to_netlist().live_mask().iter().filter(|&&b| b).count()
+        };
+        assert!(
+            gates(&arb) <= gates(&plain),
+            "arbitration must never emit more gates: {} vs {}",
+            gates(&arb),
+            gates(&plain)
+        );
+        let _ = s_on;
+        assert!(arb.check_equivalence(256, 13).is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! arithmetic circuits that motivates Progressive Decomposition.
 
 use crate::cover::{Cover, Cube};
+use pd_anf::{Anf, Monomial};
 use std::collections::BTreeSet;
 
 /// Algebraic division of `f` by a single cube.
@@ -82,6 +83,61 @@ pub fn divide(f: &Cover, d: &Cover) -> (Cover, Cover) {
 /// division identity, used by tests and by network flattening.
 pub fn recompose(q: &Cover, d: &Cover, r: &Cover) -> Cover {
     q.mul(d).or(r)
+}
+
+/// GF(2) algebraic division: splits `f = q·d ⊕ r` over Reed–Muller
+/// forms — the XOR-domain analogue of [`divide`], used by the
+/// workspace-wide [`crate::GlobalNetwork`].
+///
+/// The quotient collects every monomial `m`, disjoint from `d`'s
+/// support, such that `m·dᵢ` is literally a term of `f` for **every**
+/// term `dᵢ` of `d`. The remainder is then *defined* as `r = f ⊕ q·d`,
+/// which makes the division identity exact by construction for any
+/// quotient — correctness of a rewrite never depends on the quotient
+/// heuristic, only its profitability does.
+///
+/// # Examples
+///
+/// ```
+/// use pd_anf::{Anf, VarPool};
+/// use pd_factor::anf_divide;
+/// let mut pool = VarPool::new();
+/// let f = Anf::parse("x*a ^ x*b*c ^ y*a ^ y*b*c ^ z", &mut pool).unwrap();
+/// let d = Anf::parse("a ^ b*c", &mut pool).unwrap();
+/// let (q, r) = anf_divide(&f, &d);
+/// assert_eq!(q, Anf::parse("x ^ y", &mut pool).unwrap());
+/// assert_eq!(r, Anf::parse("z", &mut pool).unwrap());
+/// assert_eq!(q.and(&d).xor(&r), f);
+/// ```
+pub fn anf_divide(f: &Anf, d: &Anf) -> (Anf, Anf) {
+    let Some(d0) = d.terms().next() else {
+        return (Anf::zero(), f.clone());
+    };
+    if d.is_one() {
+        return (f.clone(), Anf::zero());
+    }
+    let dsup = d.support();
+    let mut q_terms: Vec<Monomial> = Vec::new();
+    for t in f.terms() {
+        if !d0.divides(t) {
+            continue;
+        }
+        let (_, m) = t.split(&d0.var_set());
+        if m.intersects(&dsup) {
+            continue;
+        }
+        if d.terms().all(|di| f.contains_term(&m.mul(di))) {
+            q_terms.push(m);
+        }
+    }
+    q_terms.sort_unstable();
+    q_terms.dedup();
+    let q = Anf::from_terms(q_terms);
+    if q.is_zero() {
+        return (q, f.clone());
+    }
+    let r = f.xor(&q.and(d));
+    (q, r)
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@
 
 mod cover;
 mod factor;
+mod global;
 mod kernel;
 mod network;
 
@@ -54,8 +55,9 @@ pub mod divide;
 pub mod minimize;
 
 pub use cover::{Cover, Cube, Lit};
-pub use divide::{divide, divide_cube, recompose};
+pub use divide::{anf_divide, divide, divide_cube, recompose};
 pub use factor::{quick_factor, FactorTree};
+pub use global::{canonical_terms, DivisorEntry, DivisorTable, GlobalConfig, GlobalNetwork, GlobalStats};
 pub use kernel::{kernels, kernels_capped, KernelPair};
 pub use minimize::{minimize_cover, minimum_cover, prime_implicants, Implicant};
 pub use network::{factor_and_synthesize, ExtractConfig, ExtractStats, FactorNetwork};

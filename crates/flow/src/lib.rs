@@ -11,12 +11,14 @@
 //!  │ 1 Decompose   (pd-core)     │  Progressive Decomposition, basis
 //!  │                             │  refinement (§5.3/§5.4) disabled
 //!  ├──────────────▼──────────────┤
-//!  │ 2 Reduce      (pd-core)     │  incremental LinDep + SizeReduce on
-//!  │                             │  the stage-1 hierarchy (worklist);
+//!  │ 2 Reduce      (pd-core)     │  incremental LinDep + SizeReduce
+//!  │                             │  (worklist + divisor-table reuse +
+//!  │                             │  arbitration close);
 //!  │                             │  PD_FULL_REDUCE=1 re-decomposes
 //!  ├──────────────▼──────────────┤
-//!  │ 3 Factor      (pd-factor)   │  per-block algebraic resynthesis:
-//!  │                             │  minimise + kernel extraction
+//!  │ 3 Factor      (pd-factor)   │  workspace-wide shared-divisor
+//!  │                             │  extraction over all leaders;
+//!  │                             │  PD_LOCAL_FACTOR=1 per block
 //!  ├──────────────▼──────────────┤
 //!  │ 4 TechMap     (pd-cells)    │  pattern absorption onto the library
 //!  ├──────────────▼──────────────┤
@@ -68,7 +70,7 @@ use pd_anf::{Anf, Var, VarPool};
 use pd_bdd::{CapacityError, ExactMismatch, VerifyContext};
 use pd_cells::{map, report_mapped, unmap, AreaDelayReport, CellLibrary, MappedNetlist};
 use pd_core::{refine, Decomposition, PdConfig, ProgressiveDecomposer};
-use pd_factor::{ExtractConfig, FactorNetwork};
+use pd_factor::{ExtractConfig, FactorNetwork, GlobalConfig, GlobalNetwork};
 use pd_netlist::{synthesize_outputs, Netlist, NodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -122,7 +124,14 @@ pub enum StageKind {
     /// instead re-runs the whole decomposition with refinement enabled —
     /// the original, slower from-scratch path, kept for A/B comparison.
     Reduce,
-    /// Per-block two-level minimisation + kernel extraction (`pd-factor`).
+    /// Workspace-wide shared-divisor resynthesis: every block's leaders
+    /// and every output enter one `pd_factor::GlobalNetwork`, whose
+    /// hash-consed divisor table extracts kernels/co-kernels shared
+    /// across blocks and whose single synthesiser stitches the divisor
+    /// nets across cone boundaries. With [`FlowConfig::local_factor`]
+    /// (or `PD_LOCAL_FACTOR=1`) the stage instead runs the pre-global
+    /// per-block path (two-level minimisation + kernel extraction per
+    /// cone), kept for A/B comparison.
     Factor,
     /// Technology mapping onto the cell library (`pd-cells`).
     TechMap,
@@ -164,12 +173,24 @@ pub struct FlowConfig {
     /// Decomposer configuration (`Decompose` runs it with
     /// [`PdConfig::without_basis_refinement`]; `Reduce` runs it as given).
     pub pd: PdConfig,
-    /// Kernel-extraction knobs for the `Factor` stage.
+    /// Kernel-extraction knobs for the `Factor` stage's per-block path.
     pub extract: ExtractConfig,
-    /// Support cap for the `Factor` stage's truth-table conversion; cones
-    /// wider than this are synthesised directly instead of factored.
+    /// Workspace-wide extraction knobs for the `Factor` stage's default
+    /// (global) path.
+    pub global_extract: GlobalConfig,
+    /// Run the `Factor` stage per block (the pre-global behaviour:
+    /// each block's leaders minimised and kernel-extracted in isolation)
+    /// instead of through the workspace-wide [`GlobalNetwork`]. Defaults
+    /// to `false` unless the `PD_LOCAL_FACTOR` environment variable is
+    /// set — the A/B switch for comparing the two Factor paths.
+    pub local_factor: bool,
+    /// Support cap for the per-block path's truth-table conversion;
+    /// cones wider than this are synthesised directly instead of
+    /// factored. No effect on the default (global) path, which never
+    /// builds truth tables.
     pub factor_max_support: usize,
-    /// Run exact two-level minimisation on every node before extraction.
+    /// Run exact two-level minimisation on every node before extraction
+    /// (per-block path only).
     pub minimize: bool,
     /// Cell library for `TechMap`/`STA`.
     pub library: CellLibrary,
@@ -190,6 +211,8 @@ impl Default for FlowConfig {
         FlowConfig {
             pd: PdConfig::default(),
             extract: ExtractConfig::default(),
+            global_extract: GlobalConfig::default(),
+            local_factor: std::env::var_os("PD_LOCAL_FACTOR").is_some(),
             factor_max_support: 12,
             minimize: true,
             library: CellLibrary::umc130(),
@@ -235,6 +258,21 @@ pub struct StageReport {
     pub refine_passes: Option<usize>,
     /// Leaders eliminated by refinement (incremental `Reduce` only).
     pub refine_leaders_removed: Option<usize>,
+    /// Existing leaders reused as divisors instead of duplicated
+    /// (incremental `Reduce` only: divisor-table hits in the worklist
+    /// plus close-round CSE merges).
+    pub refine_reuses: Option<usize>,
+    /// Whether the arbitration close replaced the worklist result with a
+    /// from-scratch refined re-decomposition (incremental `Reduce` only).
+    /// When `true`, the `refine_*` counters describe the worklist run
+    /// whose result was discarded, not the hierarchy this stage emitted.
+    pub refine_arbitrated: Option<bool>,
+    /// Committed divisors consumed by two or more cones (global
+    /// `Factor` only).
+    pub shared_divisors: Option<usize>,
+    /// Consumer substitutions beyond each divisor's first use (global
+    /// `Factor` only).
+    pub divisor_reuse_count: Option<usize>,
 }
 
 impl StageReport {
@@ -253,6 +291,10 @@ impl StageReport {
             critical_output: None,
             refine_passes: None,
             refine_leaders_removed: None,
+            refine_reuses: None,
+            refine_arbitrated: None,
+            shared_divisors: None,
+            divisor_reuse_count: None,
         }
     }
 
@@ -296,6 +338,18 @@ impl StageReport {
         }
         if let Some(v) = self.refine_leaders_removed {
             fields.push(("refine_leaders_removed", Json::from(v)));
+        }
+        if let Some(v) = self.refine_reuses {
+            fields.push(("refine_reuses", Json::from(v)));
+        }
+        if let Some(v) = self.refine_arbitrated {
+            fields.push(("refine_arbitrated", Json::from(v)));
+        }
+        if let Some(v) = self.shared_divisors {
+            fields.push(("shared_divisors", Json::from(v)));
+        }
+        if let Some(v) = self.divisor_reuse_count {
+            fields.push(("divisor_reuse_count", Json::from(v)));
         }
         Json::obj(fields)
     }
@@ -444,6 +498,15 @@ impl Flow {
     /// The stage [`Flow::run_next`] would execute, or `None` when done.
     pub fn next_stage(&self) -> Option<StageKind> {
         StageKind::ALL.get(self.next).copied()
+    }
+
+    /// Switches the `Factor` stage's implementation mid-flow (see
+    /// [`FlowConfig::local_factor`]). The stage reads the flag when it
+    /// runs, so an A/B harness can run Decompose + Reduce once, clone
+    /// the flow, and drive each clone down a different Factor path
+    /// without re-paying the shared prefix.
+    pub fn set_local_factor(&mut self, local: bool) {
+        self.cfg.local_factor = local;
     }
 
     /// The current netlist snapshot (set from the `Decompose` stage on).
@@ -604,6 +667,8 @@ impl Flow {
         report.gates = Some(live_gates(&nl));
         report.refine_passes = Some(stats.passes);
         report.refine_leaders_removed = Some(stats.leaders_removed);
+        report.refine_reuses = Some(stats.leader_reuses);
+        report.refine_arbitrated = Some(stats.arbitrated);
         self.verify_boundary(&mut report, &nl)?;
         self.pool = d.pool.clone();
         self.decomposition = Some(d);
@@ -611,7 +676,52 @@ impl Flow {
         Ok(report)
     }
 
+    /// The `Factor` stage: workspace-wide shared-divisor resynthesis by
+    /// default, the pre-global per-block path under
+    /// [`FlowConfig::local_factor`].
     fn stage_factor(&mut self) -> Result<StageReport, FlowError> {
+        if self.cfg.local_factor {
+            return self.stage_factor_local();
+        }
+        let mut report = StageReport::new(StageKind::Factor);
+        let d = self.decomposition.as_ref().expect("decompose ran");
+        let t = std::time::Instant::now();
+        let mut scratch = self.pool.clone();
+        // Every leader of every block plus every output enters ONE
+        // network, so a divisor is extracted once no matter how many
+        // blocks rediscover it, and the shared synthesiser stitches the
+        // divisor nets across cone boundaries.
+        let mut net = GlobalNetwork::new();
+        for (bi, block) in d.blocks.iter().enumerate() {
+            for (v, e) in &block.basis {
+                net.add_leader(bi, *v, e);
+            }
+        }
+        for (name, e) in &d.outputs {
+            net.add_output(name, e);
+        }
+        let stats = net.extract(&mut scratch, &self.cfg.global_extract);
+        let (nl, extracted) = net.synthesize_choosing();
+        report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        report.literals = Some(if extracted {
+            net.literal_count()
+        } else {
+            d.hierarchy_literal_count()
+        });
+        report.gates = Some(live_gates(&nl));
+        report.shared_divisors = Some(if extracted { stats.shared_divisors } else { 0 });
+        report.divisor_reuse_count =
+            Some(if extracted { stats.divisor_reuse_count } else { 0 });
+        self.verify_boundary(&mut report, &nl)?;
+        self.pool = scratch;
+        self.netlist = Some(nl);
+        Ok(report)
+    }
+
+    /// The retained per-block Factor path (`PD_LOCAL_FACTOR=1`): each
+    /// block resynthesised in isolation, divisors never shared across
+    /// blocks.
+    fn stage_factor_local(&mut self) -> Result<StageReport, FlowError> {
         let mut report = StageReport::new(StageKind::Factor);
         let d = self.decomposition.as_ref().expect("decompose ran");
         let t = std::time::Instant::now();

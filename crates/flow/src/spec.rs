@@ -10,6 +10,7 @@
 //!   "verify": true,
 //!   "minimize": true,
 //!   "full_reduce": false,
+//!   "local_factor": false,
 //!   "factor_max_support": 12,
 //!   "extract": { "max_rounds": 256, "min_gain": 1 },
 //!   "out": "FLOW_STATS.json"
@@ -294,6 +295,7 @@ impl FlowSpec {
                 "verify" => spec.config.verify = boolean(value, key)?,
                 "minimize" => spec.config.minimize = boolean(value, key)?,
                 "full_reduce" => spec.config.full_reduce = boolean(value, key)?,
+                "local_factor" => spec.config.local_factor = boolean(value, key)?,
                 "factor_max_support" => {
                     spec.config.factor_max_support = unsigned(value, key)?;
                 }

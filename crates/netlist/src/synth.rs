@@ -195,6 +195,22 @@ impl Synthesizer {
         best
     }
 
+    /// Estimated implementation cost of `expr` in gate-equivalents,
+    /// without emitting anything.
+    ///
+    /// This is the same cost model [`Synthesizer::emit`] plans with
+    /// (factoring vs Shannon vs the direct forms), so callers can price
+    /// alternative expressions — e.g. a divisor rewrite, or two candidate
+    /// hierarchies — by how they would actually map, rather than by raw
+    /// literal counts (which undervalue OR/majority-shaped cones the
+    /// emitter handles specially). Variables are priced as free inputs;
+    /// plans are memoised across calls, so repeated estimates over
+    /// overlapping expressions are cheap. Deterministic.
+    pub fn estimate(&mut self, expr: &Anf) -> f64 {
+        self.planned = 0;
+        self.cost(expr)
+    }
+
     /// Builds `expr` into `nl`, returning the output node.
     pub fn emit(&mut self, nl: &mut Netlist, expr: &Anf) -> NodeId {
         // Each top-level cone gets the full planning budget (cached plans
@@ -449,6 +465,27 @@ mod tests {
             let nl = synthesize_outputs(&outputs);
             assert_eq!(check_equiv_anf(&nl, &outputs, 4, 9), None);
         }
+    }
+
+    #[test]
+    fn estimate_tracks_emission_quality() {
+        let mut pool = VarPool::new();
+        let maj = Anf::parse("a*b ^ b*c ^ c*a", &mut pool).unwrap();
+        let vars: Vec<Anf> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| Anf::parse(n, &mut pool).unwrap())
+            .collect();
+        let or4 = vars.iter().fold(Anf::zero(), |acc, v| acc.or(v));
+        let mut synth = Synthesizer::new();
+        // The cost model prices the special forms, not the literal count:
+        // majority is one gate despite 6 literals, the 4-input OR three
+        // gates despite 32 literals.
+        assert_eq!(synth.estimate(&maj), 1.0);
+        assert_eq!(synth.estimate(&or4), 3.0);
+        assert!(synth.estimate(&or4) < or4.literal_count() as f64);
+        // Trivial expressions are free.
+        assert_eq!(synth.estimate(&Anf::zero()), 0.0);
+        assert_eq!(synth.estimate(&Anf::parse("a", &mut pool).unwrap()), 0.0);
     }
 
     #[test]

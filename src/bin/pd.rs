@@ -50,6 +50,8 @@
 //!   --no-verify    skip the BDD oracle (benchmarking; same as PD_SKIP_VERIFY=1)
 //!   --full-reduce  from-scratch Reduce instead of the incremental
 //!                  refinement (A/B; same as PD_FULL_REDUCE=1)
+//!   --local-factor per-block Factor instead of the workspace-wide
+//!                  shared-divisor network (A/B; same as PD_LOCAL_FACTOR=1)
 //!   -k <N>         group size override
 //! ```
 
@@ -161,6 +163,7 @@ fn run_flow(args: &[String]) -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut no_verify = false;
     let mut full_reduce = false;
+    let mut local_factor = false;
     let mut group_size: Option<usize> = None;
     let mut target: Option<String> = None;
     let mut it = args.iter();
@@ -171,6 +174,7 @@ fn run_flow(args: &[String]) -> Result<(), String> {
             }
             "--no-verify" => no_verify = true,
             "--full-reduce" => full_reduce = true,
+            "--local-factor" => local_factor = true,
             "-k" => {
                 let v = it.next().ok_or("-k needs a value")?;
                 let k = v.parse().map_err(|_| format!("bad group size {v:?}"))?;
@@ -181,7 +185,7 @@ fn run_flow(args: &[String]) -> Result<(), String> {
             }
             "-h" | "--help" => {
                 return Err("usage: pd flow [--out F] [--no-verify] [--full-reduce] \
-                            [-k N] <flow-spec.json | - | NAMES>"
+                            [--local-factor] [-k N] <flow-spec.json | - | NAMES>"
                     .into())
             }
             other if target.is_none() => target = Some(other.to_owned()),
@@ -219,6 +223,9 @@ fn run_flow(args: &[String]) -> Result<(), String> {
     }
     if full_reduce {
         cfg.full_reduce = true;
+    }
+    if local_factor {
+        cfg.local_factor = true;
     }
     if let Some(k) = group_size {
         cfg.pd.group_size = k;

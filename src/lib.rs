@@ -28,7 +28,7 @@
 //! ```text
 //! ANF spec ──► decompose ──► reduce ──► factor ──► techmap ──► sta
 //!             (pd-core,    (pd-core,  (pd-factor  (pd-cells   (pd-cells
-//!              no §5.3/4)   refine)    per block)  mapper)     timing)
+//!              no §5.3/4)   refine)    global)     mapper)     timing)
 //!                  │            │          │           │
 //!                  ▼            ▼          ▼           ▼
 //!              BDD ≡ spec   BDD ≡ prev  BDD ≡ prev  BDD ≡ prev
@@ -44,12 +44,36 @@
 //! actually rewrote; disjoint-footprint blocks refine concurrently on the
 //! `pd-par` pool. Residual non-literal outputs left by inlining are
 //! re-abstracted by bounded "close" rounds of the main loop over the
-//! (tiny) residue. Every rewrite preserves `Σ inner·outer` exactly and
+//! (tiny) residue. The whole pass shares one hash-consed **divisor
+//! table** of the hierarchy's leader expressions (keyed by canonical
+//! monomial order): the worklist reuses an existing leader as a divisor
+//! instead of minting a duplicate, and a leader-CSE sweep folds residue
+//! blocks that rebuilt an existing expression onto its first
+//! definition. A final *arbitration close* re-decomposes the
+//! specification with refinement enabled and keeps whichever hierarchy
+//! emits fewer gates, so the incremental path never maps worse than the
+//! from-scratch one (this closed the historical lzd12 regression, 117
+//! vs 41 cells). Every rewrite preserves `Σ inner·outer` exactly and
 //! the BDD oracle re-proves the boundary, so the refined hierarchy is
 //! equivalent by construction *and* by check. `PD_FULL_REDUCE=1` (or
 //! [`flow::FlowConfig::full_reduce`]) restores the from-scratch re-run
 //! for A/B comparison — `BENCH_RUNTIME.json` tracks both as
 //! `flow/<circuit>/reduce-incremental` vs `flow/<circuit>/reduce-full`.
+//!
+//! The **Factor** stage is workspace-wide: every block's leaders and
+//! every output enter one `pd_factor::GlobalNetwork`, whose extraction
+//! loop enumerates GF(2) kernels/co-kernels and cross-cone common
+//! sub-XORs over *all* cones at once, hash-conses them in the shared
+//! divisor table (usage-counted, so `shared_divisors` and
+//! `divisor_reuse_count` land in the stage's JSON stats), and greedily
+//! commits the divisor whose saving summed over all consumers is
+//! largest. Commits are priced with the synthesiser's own cost model —
+//! not literal counts — so OR/majority-shaped cones the emitter maps
+//! specially are left alone, and a final guard returns the unextracted
+//! emission if it is smaller. `PD_LOCAL_FACTOR=1` (or
+//! [`flow::FlowConfig::local_factor`]) restores the per-block path —
+//! `BENCH_RUNTIME.json` tracks both as `flow/<circuit>/factor-global`
+//! vs `flow/<circuit>/factor-local`, with mapped cell counts.
 //!
 //! From the command line: `pd flow maj15,counter12`, `pd flow all`, or
 //! `pd flow spec.json` with a [`flow::spec`] document. In code:

@@ -77,10 +77,12 @@ proptest! {
 }
 
 /// Seeded random spec files driven through `pd flow` child processes
-/// under all four environment combinations. The flow exits non-zero if
+/// under all eight environment combinations: `PD_LOCAL_FACTOR` ×
+/// `PD_NAIVE_KERNEL` × `PD_THREADS` ∈ {1, 4}. The flow exits non-zero if
 /// any stage boundary fails the BDD oracle, and the emitted stats must be
-/// bit-identical across kernels and thread counts (the engine's
-/// determinism guarantee).
+/// bit-identical across kernels and thread counts *within* each Factor
+/// path (the engine's determinism guarantee; the two Factor paths
+/// legitimately produce different netlists).
 #[test]
 fn env_combos_agree_and_verify_via_subprocess() {
     let dir = std::env::temp_dir().join(format!("pd-flow-prop-{}", std::process::id()));
@@ -97,70 +99,84 @@ fn env_combos_agree_and_verify_via_subprocess() {
         let spec_path = dir.join(format!("case{case}.pd"));
         std::fs::write(&spec_path, format!("y = {}\n", expr_text(&masks, n_vars)))
             .expect("write spec");
-        let mut stats: Vec<(String, String)> = Vec::new();
-        for (naive, threads) in [(false, "1"), (false, "4"), (true, "1"), (true, "4")] {
-            let out_path = dir.join(format!(
-                "case{case}-{}-t{threads}.json",
-                if naive { "naive" } else { "fast" }
-            ));
-            let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_pd"));
-            cmd.arg("flow")
-                .arg(&spec_path)
-                .arg("--out")
-                .arg(&out_path)
-                .env("PD_THREADS", threads)
-                .env_remove("PD_NAIVE_KERNEL")
-                .env_remove("PD_SKIP_VERIFY")
-                .env_remove("PD_FULL_REDUCE");
-            if naive {
-                cmd.env("PD_NAIVE_KERNEL", "1");
-            }
-            let out = cmd.output().expect("spawn pd flow");
-            assert!(
-                out.status.success(),
-                "case {case} naive={naive} threads={threads} failed:\n{}",
-                String::from_utf8_lossy(&out.stderr)
-            );
-            let doc = std::fs::read_to_string(&out_path).expect("stats written");
-            let parsed = Json::parse(&doc).expect("stats parse");
-            let circuits = parsed.get("circuits").and_then(Json::as_arr).expect("circuits");
-            // Every transforming stage's oracle verdict must be green.
-            let stages = circuits[0].get("stages").and_then(Json::as_arr).expect("stages");
-            for s in stages {
-                let name = s.get("stage").and_then(Json::as_str).unwrap_or("?");
-                if name != "sta" {
-                    assert_eq!(
-                        s.get("verified").and_then(Json::as_bool),
-                        Some(true),
-                        "case {case} naive={naive} threads={threads}: stage {name} not verified"
-                    );
+        // stats[local_factor] collects the per-combo fingerprints that
+        // must agree with each other.
+        let mut stats: [Vec<(String, String)>; 2] = [Vec::new(), Vec::new()];
+        for local in [false, true] {
+            for (naive, threads) in [(false, "1"), (false, "4"), (true, "1"), (true, "4")] {
+                let out_path = dir.join(format!(
+                    "case{case}-{}-{}-t{threads}.json",
+                    if local { "local" } else { "global" },
+                    if naive { "naive" } else { "fast" }
+                ));
+                let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_pd"));
+                cmd.arg("flow")
+                    .arg(&spec_path)
+                    .arg("--out")
+                    .arg(&out_path)
+                    .env("PD_THREADS", threads)
+                    .env_remove("PD_NAIVE_KERNEL")
+                    .env_remove("PD_SKIP_VERIFY")
+                    .env_remove("PD_FULL_REDUCE")
+                    .env_remove("PD_LOCAL_FACTOR");
+                if naive {
+                    cmd.env("PD_NAIVE_KERNEL", "1");
                 }
+                if local {
+                    cmd.env("PD_LOCAL_FACTOR", "1");
+                }
+                let out = cmd.output().expect("spawn pd flow");
+                assert!(
+                    out.status.success(),
+                    "case {case} local={local} naive={naive} threads={threads} failed:\n{}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                let doc = std::fs::read_to_string(&out_path).expect("stats written");
+                let parsed = Json::parse(&doc).expect("stats parse");
+                let circuits = parsed.get("circuits").and_then(Json::as_arr).expect("circuits");
+                // Every transforming stage's oracle verdict must be green.
+                let stages = circuits[0].get("stages").and_then(Json::as_arr).expect("stages");
+                for s in stages {
+                    let name = s.get("stage").and_then(Json::as_str).unwrap_or("?");
+                    if name != "sta" {
+                        assert_eq!(
+                            s.get("verified").and_then(Json::as_bool),
+                            Some(true),
+                            "case {case} local={local} naive={naive} threads={threads}: \
+                             stage {name} not verified"
+                        );
+                    }
+                }
+                // Size metrics (not wall times) must agree across combos
+                // of the same Factor path: strip the timing fields before
+                // comparing.
+                let fingerprint: Vec<String> = stages
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{}:{:?}:{:?}:{:?}:{:?}",
+                            s.get("stage").and_then(Json::as_str).unwrap_or("?"),
+                            s.get("literals").and_then(Json::as_num),
+                            s.get("gates").and_then(Json::as_num),
+                            s.get("cells").and_then(Json::as_num),
+                            s.get("shared_divisors").and_then(Json::as_num),
+                        )
+                    })
+                    .collect();
+                stats[usize::from(local)].push((
+                    format!("local={local} naive={naive} threads={threads}"),
+                    fingerprint.join("\n"),
+                ));
             }
-            // Size metrics (not wall times) must agree across combos:
-            // strip the timing fields before comparing.
-            let fingerprint: Vec<String> = stages
-                .iter()
-                .map(|s| {
-                    format!(
-                        "{}:{:?}:{:?}:{:?}",
-                        s.get("stage").and_then(Json::as_str).unwrap_or("?"),
-                        s.get("literals").and_then(Json::as_num),
-                        s.get("gates").and_then(Json::as_num),
-                        s.get("cells").and_then(Json::as_num),
-                    )
-                })
-                .collect();
-            stats.push((
-                format!("naive={naive} threads={threads}"),
-                fingerprint.join("\n"),
-            ));
         }
-        let (ref first_combo, ref first) = stats[0];
-        for (combo, fp) in &stats[1..] {
-            assert_eq!(
-                fp, first,
-                "case {case}: {combo} disagrees with {first_combo}"
-            );
+        for group in &stats {
+            let (ref first_combo, ref first) = group[0];
+            for (combo, fp) in &group[1..] {
+                assert_eq!(
+                    fp, first,
+                    "case {case}: {combo} disagrees with {first_combo}"
+                );
+            }
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
