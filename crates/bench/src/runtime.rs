@@ -25,7 +25,12 @@
 //! a prebuilt stage-1 hierarchy (the default in-place worklist path), and
 //! `flow/<circuit>/reduce-full` times the from-scratch re-decomposition
 //! it replaced (the `PD_FULL_REDUCE=1` fallback), each with the literal
-//! count it reaches.
+//! count it reaches. A second pair, `reduce-budgeted` versus
+//! `reduce-unbudgeted`, pins the effort-budget work: the default
+//! config's learned arbitration-skip bound (plus the spec-keyed
+//! arbitration cache) against the same pass with the arbitration close
+//! always recomputed — equal `literals_after` across the pair is the
+//! recorded evidence that the budget reclaims time without costing QoR.
 //!
 //! Set `PD_NAIVE_KERNEL=1` to route all ANF arithmetic through the
 //! reference (pre-optimisation) paths; the recorded `kernel` field then
@@ -274,6 +279,34 @@ fn reduce_ab_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
             area_um2: None,
             delay_ns: None,
         });
+        // The budgeted-arbitration A/B: the default config's learned
+        // skip bound + spec-keyed arbitration cache versus the same
+        // worklist pass with the arbitration close always recomputed.
+        // Equal literals_after here *is* the quality claim — the budget
+        // reclaims time, not QoR.
+        for (suffix, cfg) in [
+            ("budgeted", PdConfig::default()),
+            ("unbudgeted", PdConfig::default().without_arbitration_skip()),
+        ] {
+            let mut lits = 0;
+            let (median, min) = time_reps(reps, || {
+                let mut d = stage1.clone();
+                pd_core::refine(&mut d, &cfg);
+                lits = d.hierarchy_literal_count();
+            });
+            out.push(Measurement {
+                name: format!("flow/{circuit}/reduce-{suffix}"),
+                median_ms: ms(median),
+                min_ms: ms(min),
+                reps,
+                literals_before: Some(literals_before),
+                literals_after: Some(lits),
+                blocks: None,
+                cells: None,
+                area_um2: None,
+                delay_ns: None,
+            });
+        }
     }
     out
 }
@@ -509,7 +542,12 @@ mod tests {
                     .unwrap_or_else(|| panic!("{name} missing"));
                 assert!(m.cells.unwrap_or(0) > 0, "{name} lacks cells");
             }
-            for ab in ["reduce-incremental", "reduce-full"] {
+            for ab in [
+                "reduce-incremental",
+                "reduce-full",
+                "reduce-budgeted",
+                "reduce-unbudgeted",
+            ] {
                 let name = format!("flow/{circuit}/{ab}");
                 let m = results
                     .iter()

@@ -216,6 +216,41 @@ pub fn map(netlist: &Netlist) -> MappedNetlist {
     out
 }
 
+/// Maps the live cone of `netlist` onto cells **1:1**, with no pattern
+/// absorption: every gate becomes exactly the cell of its own kind
+/// (`Not → Inv`, `And → And2`, …, `Maj → Maj3`).
+///
+/// This is the flow's technology-mapping fallback: it shares none of
+/// [`map`]'s planning machinery (full-adder pairing, inverter
+/// absorption), so it cannot misplan — at the cost of larger area. The
+/// result round-trips through [`unmap`] like any mapped netlist, so the
+/// BDD oracle verifies it the same way.
+pub fn map_greedy(netlist: &Netlist) -> MappedNetlist {
+    let live = netlist.live_mask();
+    let mut out = MappedNetlist {
+        outputs: netlist.outputs().to_vec(),
+        ..Default::default()
+    };
+    for (id, gate) in netlist.iter() {
+        if !live[id.index()] {
+            continue;
+        }
+        match gate {
+            Gate::Input(_) => out.inputs.push(id),
+            Gate::Const(_) => push_cell(&mut out, CellKind::Tie, Vec::new(), id),
+            Gate::Not(a) => push_cell(&mut out, CellKind::Inv, vec![a], id),
+            Gate::And(a, b) => push_cell(&mut out, CellKind::And2, vec![a, b], id),
+            Gate::Or(a, b) => push_cell(&mut out, CellKind::Or2, vec![a, b], id),
+            Gate::Xor(a, b) => push_cell(&mut out, CellKind::Xor2, vec![a, b], id),
+            Gate::Mux { sel, lo, hi } => {
+                push_cell(&mut out, CellKind::Mux2, vec![sel, lo, hi], id)
+            }
+            Gate::Maj(a, b, c) => push_cell(&mut out, CellKind::Maj3, vec![a, b, c], id),
+        }
+    }
+    out
+}
+
 fn push_cell(out: &mut MappedNetlist, kind: CellKind, fanins: Vec<NodeId>, drives: NodeId) {
     let idx = out.cells.len();
     out.cells.push(MappedCell {
@@ -410,6 +445,40 @@ mod tests {
         }
         let spec = pd_netlist::extract::extract_anf(&nl, 1 << 16).expect("small cones");
         assert_eq!(pd_netlist::sim::check_equiv_anf(&back, &spec, 32, 17), None);
+    }
+
+    #[test]
+    fn greedy_mapping_skips_all_absorption_yet_unmaps_equivalent() {
+        // The same design the planner absorbs into FA/HA/NAND macros maps
+        // 1:1 under the greedy fallback — more cells, no macros — and
+        // still reconstructs an equivalent netlist.
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..5).map(|i| pool.input(&format!("x{i}"), 0, i)).collect();
+        let mut nl = Netlist::new();
+        let n: Vec<_> = vars.iter().map(|&v| nl.input(v)).collect();
+        let (s, co) = nl.full_adder(n[0], n[1], n[2]);
+        let (hs, hc) = nl.half_adder(n[3], n[4]);
+        let nand_in = nl.and(s, hs);
+        let nand = nl.not(nand_in);
+        let m = nl.mux(co, hc, nand);
+        nl.set_output("s", s);
+        nl.set_output("m", m);
+        let greedy = map_greedy(&nl);
+        let planned = map(&nl);
+        let hist = greedy.histogram();
+        for macro_kind in [
+            CellKind::FaSum,
+            CellKind::FaCarry,
+            CellKind::HaSum,
+            CellKind::HaCarry,
+            CellKind::Nand2,
+        ] {
+            assert_eq!(hist.get(&macro_kind), None, "{macro_kind:?}");
+        }
+        assert!(greedy.cells.len() > planned.cells.len());
+        let back = unmap(&greedy, &nl);
+        let spec = pd_netlist::extract::extract_anf(&nl, 1 << 16).expect("small cones");
+        assert_eq!(pd_netlist::sim::check_equiv_anf(&back, &spec, 32, 23), None);
     }
 
     #[test]

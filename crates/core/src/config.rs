@@ -66,6 +66,19 @@ pub struct PdConfig {
     /// the cost of one extra decomposition; disable to time or test the
     /// pure worklist path.
     pub refine_arbitration: bool,
+    /// Skip the arbitration re-decomposition when the worklist result's
+    /// gate estimate is already within this bound of the pre-refine
+    /// hierarchy's: skip iff `gates_after * 1000 >= bound * gates_before`.
+    /// The learned default (980‰, i.e. "the worklist improved gates by
+    /// less than 2%") captures exactly the circuits where the
+    /// from-scratch hierarchy has never beaten the worklist; `None`
+    /// always arbitrates (the unbudgeted A/B reference).
+    pub arbitration_skip_permille: Option<u32>,
+    /// Deterministic trial budget for one decomposition run (group-search
+    /// candidates charged against a [`pd_par::EffortMeter`]); the main
+    /// loop stops early — still emitting a valid, equivalent hierarchy —
+    /// once spent. `u64::MAX` is unlimited.
+    pub effort_budget: u64,
 }
 
 impl Default for PdConfig {
@@ -83,6 +96,8 @@ impl Default for PdConfig {
             enable_size_reduction: true,
             enable_identities: true,
             refine_arbitration: true,
+            arbitration_skip_permille: Some(980),
+            effort_budget: u64::MAX,
         }
     }
 }
@@ -122,6 +137,22 @@ impl PdConfig {
     /// pure incremental worklist.
     pub fn without_refine_arbitration(mut self) -> Self {
         self.refine_arbitration = false;
+        self
+    }
+
+    /// Always runs the arbitration re-decomposition, ignoring the
+    /// gate-estimate skip bound (see
+    /// [`PdConfig::arbitration_skip_permille`]); the unbudgeted Reduce
+    /// reference for A/B timing.
+    pub fn without_arbitration_skip(mut self) -> Self {
+        self.arbitration_skip_permille = None;
+        self
+    }
+
+    /// Sets the decomposition trial budget (see
+    /// [`PdConfig::effort_budget`]).
+    pub fn with_effort_budget(mut self, budget: u64) -> Self {
+        self.effort_budget = budget;
         self
     }
 

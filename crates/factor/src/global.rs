@@ -44,6 +44,7 @@
 use crate::divide::anf_divide;
 use pd_anf::{Anf, Monomial, Var, VarPool, VarSet};
 use pd_netlist::{Netlist, Synthesizer};
+use pd_par::EffortMeter;
 use std::collections::HashMap;
 
 /// Canonicalises a raw monomial list into GF(2) normal form: sorted
@@ -181,6 +182,12 @@ pub struct GlobalConfig {
     /// Cones with more terms than this skip kernel enumeration (their
     /// pairwise co-kernel scan would dominate the round).
     pub max_kernel_terms: usize,
+    /// Deterministic trial budget for one extraction run: every
+    /// enumerated divisor candidate charges one unit against an
+    /// [`EffortMeter`], and the round loop stops early once spent
+    /// (committed divisors stay committed — the network is exact at any
+    /// stopping point). `u64::MAX` is unlimited.
+    pub effort_budget: u64,
 }
 
 impl Default for GlobalConfig {
@@ -190,6 +197,7 @@ impl Default for GlobalConfig {
             shortlist: 24,
             min_gate_gain: 0.5,
             max_kernel_terms: 64,
+            effort_budget: u64::MAX,
         }
     }
 }
@@ -210,6 +218,10 @@ pub struct GlobalStats {
     pub literals_after: usize,
     /// Extraction rounds executed.
     pub rounds: usize,
+    /// Divisor candidates charged against the effort meter.
+    pub effort_spent: u64,
+    /// Whether the round loop stopped early on budget exhaustion.
+    pub budget_exhausted: bool,
 }
 
 /// A scored commit candidate: estimated gate gain, the divisor
@@ -323,13 +335,23 @@ impl GlobalNetwork {
         // rounds, so re-pricing a cone the previous round left untouched
         // is a table hit.
         let mut est = Synthesizer::new();
+        let mut meter = EffortMeter::with_budget(cfg.effort_budget);
         for round in 0..cfg.max_rounds {
+            // Budget check between rounds only: the round that crosses
+            // the budget completes (and may commit), so the stopping
+            // point is deterministic regardless of thread count.
+            if meter.exhausted() {
+                stats.budget_exhausted = true;
+                break;
+            }
             // The divisor variable is allocated before scoring so the
             // candidate rewrites can be priced as the expressions that
             // would actually be committed; at most one allocation leaks
             // when the final round finds nothing worth committing.
             let x = pool.fresh_derived(u32::MAX);
-            let Some(best) = self.best_divisor(x, cfg, &mut est) else {
+            let (best, trials) = self.best_divisor(x, cfg, &mut est);
+            meter.charge(trials);
+            let Some(best) = best else {
                 break;
             };
             let (gain, divisor, rewrites) = best;
@@ -366,18 +388,21 @@ impl GlobalNetwork {
             .map(|(_, _, consumers)| consumers.len().saturating_sub(1))
             .sum();
         stats.literals_after = self.literal_count();
+        stats.effort_spent = meter.spent();
         stats
     }
 
     /// Enumerates candidates, shortlists by literal gain, prices the
     /// shortlist with the synthesiser cost model, and returns the best
-    /// `(estimated gate gain, divisor, per-cone rewrites)`.
+    /// `(estimated gate gain, divisor, per-cone rewrites)` together with
+    /// the number of distinct candidates considered (the round's effort
+    /// charge).
     fn best_divisor(
         &self,
         x: Var,
         cfg: &GlobalConfig,
         est: &mut Synthesizer,
-    ) -> Option<Candidate> {
+    ) -> (Option<Candidate>, u64) {
         let mut candidates: HashMap<Vec<Monomial>, Anf> = HashMap::new();
         let mut add = |terms: Vec<Monomial>| {
             let key = canonical_terms(terms);
@@ -440,6 +465,7 @@ impl GlobalNetwork {
             }
         }
         // Shortlist by literal gain (cheap), deterministically.
+        let considered = candidates.len() as u64;
         let mut scored: Vec<(isize, &Vec<Monomial>, &Anf)> = candidates
             .iter()
             .filter_map(|(key, d)| {
@@ -489,7 +515,7 @@ impl GlobalNetwork {
                 best = Some((gain, d.clone(), rewrites));
             }
         }
-        best
+        (best, considered)
     }
 
     /// Total literal saving if `d` became a node substituted into every
@@ -761,6 +787,53 @@ mod tests {
         let extracted = net.synthesize();
         let baseline = direct.synthesize();
         assert!(live_gates(&extracted) <= live_gates(&baseline));
+    }
+
+    #[test]
+    fn zero_budget_extracts_nothing_but_stays_exact() {
+        let mut pool = VarPool::new();
+        let f = anf(&mut pool, "e*a*b ^ e*c*d ^ g");
+        let g = anf(&mut pool, "h*a*b ^ h*c*d");
+        let mut net = GlobalNetwork::new();
+        net.add_output("f", &f);
+        net.add_output("g", &g);
+        let cfg = GlobalConfig {
+            effort_budget: 0,
+            ..GlobalConfig::default()
+        };
+        let stats = net.extract(&mut pool, &cfg);
+        assert_eq!(stats.divisors, 0);
+        assert!(stats.budget_exhausted);
+        assert_eq!(stats.effort_spent, 0);
+        // The unextracted network is still the ingested one, exactly.
+        assert_eq!(net.expanded(), net.originals());
+        let nl = net.synthesize();
+        assert_eq!(nl.outputs().len(), 2);
+    }
+
+    #[test]
+    fn small_budget_completes_the_crossing_round() {
+        // A 1-trial budget lets the first round run to completion (the
+        // batch that crosses the budget finishes), then stops.
+        let mut pool = VarPool::new();
+        let f = anf(&mut pool, "e*a*b ^ e*c*d ^ g");
+        let g = anf(&mut pool, "h*a*b ^ h*c*d");
+        let mut unbudgeted = GlobalNetwork::new();
+        unbudgeted.add_output("f", &f);
+        unbudgeted.add_output("g", &g);
+        let full = unbudgeted.extract(&mut pool.clone(), &GlobalConfig::default());
+        let mut net = GlobalNetwork::new();
+        net.add_output("f", &f);
+        net.add_output("g", &g);
+        let cfg = GlobalConfig {
+            effort_budget: 1,
+            ..GlobalConfig::default()
+        };
+        let stats = net.extract(&mut pool, &cfg);
+        assert_eq!(stats.rounds, full.rounds.min(1), "first round completes");
+        assert!(stats.budget_exhausted);
+        assert!(stats.effort_spent >= 1);
+        assert_eq!(net.expanded(), net.originals());
     }
 
     #[test]

@@ -22,44 +22,82 @@ pub struct BatchOutcome {
     pub name: String,
     /// The summary, or why the flow stopped.
     pub result: Result<FlowSummary, FlowError>,
+    /// Whether the circuit was re-run under the safe configuration after
+    /// its first attempt panicked (see [`run_batch`]); `result` then
+    /// describes the retry.
+    pub retried: bool,
 }
 
 impl BatchOutcome {
-    /// Serialises the outcome: the summary object, or `{name, error}`.
+    /// Serialises the outcome: the summary object, or `{name, error}`;
+    /// either form gains `"retried": true` after a safe-config retry.
     pub fn to_json(&self) -> Json {
-        match &self.result {
+        let mut doc = match &self.result {
             Ok(summary) => summary.to_json(),
             Err(e) => Json::obj(vec![
                 ("name", Json::from(self.name.as_str())),
                 ("error", Json::from(e.to_string().as_str())),
             ]),
+        };
+        if self.retried {
+            if let Json::Obj(fields) = &mut doc {
+                fields.push(("retried".to_owned(), Json::from(true)));
+            }
         }
+        doc
     }
+}
+
+/// One fenced end-to-end flow attempt.
+fn attempt(input: FlowInput, cfg: FlowConfig) -> Result<FlowSummary, FlowError> {
+    // A panicking flow must not unwind into the pool worker (which
+    // would poison the whole batch); each flow's state is discarded
+    // on panic, so the unwind-safety assertion is sound.
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut flow = Flow::new(input, cfg);
+        flow.run_to_completion()
+    }))
+    .unwrap_or_else(|payload| Err(FlowError::Panicked(crate::panic_message(payload))))
 }
 
 /// Runs every circuit through a fresh [`Flow`] under a shared
 /// configuration, in parallel, preserving input order. A circuit whose
-/// flow panics yields [`FlowError::Panicked`] in its slot; its siblings
-/// are unaffected.
+/// flow panics — every ladder rung dead, or an unwind escaping the flow
+/// itself — is retried **once** under the safe configuration
+/// (from-scratch Reduce, per-block Factor: the paths with the least
+/// machinery) before its slot reports [`FlowError::Panicked`]. The
+/// naive-kernel switch cannot join the safe config: it is a process-wide
+/// `OnceLock` read from `PD_NAIVE_KERNEL` at first use. Siblings are
+/// unaffected either way.
 pub fn run_batch(inputs: Vec<FlowInput>, cfg: &FlowConfig) -> Vec<BatchOutcome> {
     pd_par::par_map_vec(inputs, |input| {
         let name = input.name.clone();
-        // A panicking flow must not unwind into the pool worker (which
-        // would poison the whole batch); each flow's state is discarded
-        // on panic, so the unwind-safety assertion is sound.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            let mut flow = Flow::new(input, cfg.clone());
-            flow.run_to_completion()
-        }))
-        .unwrap_or_else(|payload| {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_owned());
-            Err(FlowError::Panicked(msg))
-        });
-        BatchOutcome { name, result }
+        match attempt(input.clone(), cfg.clone()) {
+            Err(FlowError::Panicked(first)) => {
+                let mut safe = cfg.clone();
+                safe.full_reduce = true;
+                safe.local_factor = true;
+                // The fault plan re-arms for the retry (Flow::new reads
+                // cfg.fault), so an injected panic stays deterministic
+                // across both attempts.
+                let result = attempt(input, safe).map_err(|e| match e {
+                    FlowError::Panicked(second) => FlowError::Panicked(format!(
+                        "{first}; safe-config retry also panicked: {second}"
+                    )),
+                    other => other,
+                });
+                BatchOutcome {
+                    name,
+                    result,
+                    retried: true,
+                }
+            }
+            result => BatchOutcome {
+                name,
+                result,
+                retried: false,
+            },
+        }
     })
 }
 
@@ -135,6 +173,11 @@ mod tests {
                 if msg.contains("selector")),
             "unexpected error: {err}"
         );
+        assert!(
+            outcomes[1].retried,
+            "a panicking circuit gets one safe-config retry"
+        );
+        assert!(!outcomes[0].retried && !outcomes[2].retried);
         for i in [0, 2] {
             let summary = outcomes[i]
                 .result

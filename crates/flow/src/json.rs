@@ -9,7 +9,41 @@
 //! pipeline needed to *read* specifications, and `pd-bench` now re-exports
 //! it.
 
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A JSON syntax error: the byte offset where parsing failed plus a
+/// message. [`Json::parse`] reports the *first* error; the offset indexes
+/// the original byte slice, so callers can point at the offending spot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the document where parsing failed.
+    pub pos: usize,
+    /// What went wrong at that offset.
+    pub msg: String,
+}
+
+impl JsonError {
+    fn new(pos: usize, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Documents nested deeper than this are rejected by [`Json::parse`]
+/// rather than risking stack exhaustion in the recursive-descent parser
+/// (a `[[[[…` bomb would otherwise abort the process).
+const MAX_PARSE_DEPTH: usize = 128;
 
 /// A JSON value assembled imperatively or parsed from text.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,15 +116,17 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a byte offset and message for the first syntax error;
-    /// trailing non-whitespace after the document is also an error.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    /// Returns a [`JsonError`] (byte offset + message) for the first
+    /// syntax error; trailing non-whitespace after the document, nesting
+    /// deeper than 128 levels, and non-finite numbers (`1e999`) are also
+    /// errors.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("byte {pos}: trailing characters after document"));
+            return Err(JsonError::new(pos, "trailing characters after document"));
         }
         Ok(value)
     }
@@ -175,19 +211,25 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), JsonError> {
     if bytes.get(*pos) == Some(&token) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("byte {}: expected {:?}", *pos, token as char))
+        Err(JsonError::new(*pos, format!("expected {:?}", token as char)))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth >= MAX_PARSE_DEPTH {
+        return Err(JsonError::new(
+            *pos,
+            format!("nesting deeper than {MAX_PARSE_DEPTH} levels"),
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_owned()),
+        None => Err(JsonError::new(bytes.len(), "unexpected end of input")),
         Some(b'{') => {
             *pos += 1;
             let mut fields = Vec::new();
@@ -201,7 +243,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 fields.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -210,7 +252,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Obj(fields));
                     }
-                    _ => return Err(format!("byte {}: expected ',' or '}}'", *pos)),
+                    _ => return Err(JsonError::new(*pos, "expected ',' or '}'")),
                 }
             }
         }
@@ -223,7 +265,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -231,7 +273,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Arr(items));
                     }
-                    _ => return Err(format!("byte {}: expected ',' or ']'", *pos)),
+                    _ => return Err(JsonError::new(*pos, "expected ',' or ']'")),
                 }
             }
         }
@@ -255,30 +297,43 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             {
                 *pos += 1;
             }
-            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii slice");
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("byte {start}: invalid literal {text:?}"))
+            let text = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| JsonError::new(start, "invalid UTF-8 in number"))?;
+            let n: f64 = text
+                .parse()
+                .map_err(|_| JsonError::new(start, format!("invalid literal {text:?}")))?;
+            // str::parse accepts overflowing literals like 1e999 by
+            // saturating to infinity, which Json::Num cannot represent
+            // (the writer would emit it as null).
+            if !n.is_finite() {
+                return Err(JsonError::new(
+                    start,
+                    format!("number {text:?} overflows an f64"),
+                ));
+            }
+            Ok(Json::Num(n))
         }
     }
 }
 
 /// Reads the four hex digits of a `\u` escape starting at `at`.
-fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
-    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| JsonError::new(at, "truncated \\u escape"))?;
     u32::from_str_radix(
-        std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+        std::str::from_utf8(hex).map_err(|_| JsonError::new(at, "bad \\u escape"))?,
         16,
     )
-    .map_err(|_| "bad \\u escape".to_owned())
+    .map_err(|_| JsonError::new(at, "bad \\u escape"))
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_owned()),
+            None => return Err(JsonError::new(bytes.len(), "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -302,18 +357,21 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                         // characters as UTF-16 surrogate pairs).
                         if (0xD800..0xDC00).contains(&code) {
                             if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u".as_slice()) {
-                                return Err("unpaired high surrogate".to_owned());
+                                return Err(JsonError::new(*pos, "unpaired high surrogate"));
                             }
                             let low = parse_hex4(bytes, *pos + 3)?;
                             if !(0xDC00..0xE000).contains(&low) {
-                                return Err("invalid low surrogate".to_owned());
+                                return Err(JsonError::new(*pos, "invalid low surrogate"));
                             }
                             code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                             *pos += 6;
                         }
-                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| JsonError::new(*pos, "invalid \\u escape"))?,
+                        );
                     }
-                    _ => return Err(format!("byte {}: bad escape", *pos)),
+                    _ => return Err(JsonError::new(*pos, "bad escape")),
                 }
                 *pos += 1;
             }
@@ -325,7 +383,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     *pos += 1;
                 }
                 out.push_str(
-                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid UTF-8")?,
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|_| JsonError::new(start, "invalid UTF-8"))?,
                 );
             }
         }
@@ -416,6 +475,35 @@ mod tests {
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse(r#"{"a" 1}"#).is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_positions() {
+        let e = Json::parse(r#"{"a": 1, }"#).unwrap_err();
+        assert_eq!(e.pos, 9, "{e}");
+        let e = Json::parse("12 34").unwrap_err();
+        assert_eq!(e.pos, 3, "{e}");
+        assert!(e.to_string().starts_with("byte 3:"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_overflowing_numbers() {
+        // str::parse::<f64> maps 1e999 to infinity instead of failing;
+        // the parser must not let that masquerade as a finite datum.
+        let e = Json::parse("1e999").unwrap_err();
+        assert!(e.msg.contains("overflows"), "{e}");
+        assert!(Json::parse("-1e999").is_err());
+        assert!(Json::parse("1e308").is_ok(), "large but finite is fine");
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth_instead_of_overflowing_the_stack() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+        // A document at a comfortable depth still parses.
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(Json::parse(&ok).is_ok());
     }
 
     /// Random JSON tree over every constructor, depth-bounded. Numbers go

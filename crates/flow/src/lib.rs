@@ -72,8 +72,10 @@ use pd_cells::{map, report_mapped, unmap, AreaDelayReport, CellLibrary, MappedNe
 use pd_core::{refine, Decomposition, PdConfig, ProgressiveDecomposer};
 use pd_factor::{ExtractConfig, FactorNetwork, GlobalConfig, GlobalNetwork};
 use pd_netlist::{synthesize_outputs, Netlist, NodeId};
+use pd_par::EffortMeter;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 pub use batch::{batch_to_json, run_batch, BatchOutcome};
 pub use spec::{builtin_circuits, circuit_by_name, FlowSpec};
@@ -167,6 +169,126 @@ impl fmt::Display for StageKind {
     }
 }
 
+/// Which failure a [`FaultPlan`] injects at its target stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Panic inside the stage's rung fence (exercises the panic fences
+    /// and the degradation ladder).
+    Panic,
+    /// Zero the stage's effort budget (exercises deterministic early
+    /// stopping; metered stages complete and record the exhaustion).
+    Budget,
+    /// Synthesise a BDD counterexample at the stage's verify boundary
+    /// (exercises mismatch handling without an actual logic bug).
+    Mismatch,
+}
+
+impl FaultMode {
+    /// The mode's `PD_FAULT` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMode::Panic => "panic",
+            FaultMode::Budget => "budget",
+            FaultMode::Mismatch => "mismatch",
+        }
+    }
+}
+
+/// A deterministic fault to inject into one stage of the flow — the
+/// testing harness behind the `PD_FAULT=<stage>:<mode>[:<count>]`
+/// environment knob.
+///
+/// `fires` is the number of injection opportunities the fault consumes
+/// before disarming. For `panic`/`mismatch` each rung attempt of the
+/// target stage's degradation ladder is one opportunity, so
+/// `reduce:panic:1` fails the incremental rung and lands on
+/// `worklist-only`, `reduce:panic:2` lands on `full-reduce`, and
+/// `reduce:panic:3` exhausts the ladder into a typed
+/// [`FlowError::Panicked`]. Injection is counted, never timed, so a
+/// faulted run is bit-identical at any `PD_THREADS`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Stage at which the fault fires.
+    pub stage: StageKind,
+    /// What kind of failure is injected.
+    pub mode: FaultMode,
+    /// How many injection opportunities the fault consumes (≥ 1).
+    pub fires: u32,
+}
+
+impl FaultPlan {
+    /// Parses the `PD_FAULT` syntax `<stage>:<mode>[:<count>]`, e.g.
+    /// `reduce:panic` or `factor:mismatch:2`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the accepted stages/modes when a component is unknown,
+    /// or the count constraint when it is not a positive integer.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut parts = text.split(':');
+        let stage_name = parts.next().unwrap_or("");
+        let stage = StageKind::ALL
+            .into_iter()
+            .find(|s| s.name() == stage_name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown stage {stage_name:?} (known: decompose, reduce, factor, \
+                     techmap, sta)"
+                )
+            })?;
+        let mode = match parts.next() {
+            Some("panic") => FaultMode::Panic,
+            Some("budget") => FaultMode::Budget,
+            Some("mismatch") => FaultMode::Mismatch,
+            other => {
+                return Err(format!(
+                    "unknown fault mode {other:?} (known: panic, budget, mismatch)"
+                ))
+            }
+        };
+        let fires = match parts.next() {
+            None => 1,
+            Some(n) => n
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("fault count must be a positive integer, got {n:?}"))?,
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("trailing fault component {extra:?}"));
+        }
+        Ok(FaultPlan { stage, mode, fires })
+    }
+
+    /// Reads and parses the `PD_FAULT` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::parse`] failures (an unset variable is
+    /// `Ok(None)`).
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var("PD_FAULT") {
+            Ok(v) => FaultPlan::parse(&v).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// Reads a `PD_BUDGET_*` effort knob; unset means unlimited.
+///
+/// # Panics
+///
+/// Panics on a malformed value — a typo'd budget silently running
+/// unbudgeted would defeat the harness, so it fails fast instead.
+fn env_budget(key: &str) -> u64 {
+    match std::env::var(key) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{key} must be a non-negative integer, got {v:?}")),
+        Err(_) => u64::MAX,
+    }
+}
+
 /// Per-stage knobs plus the global verification switch.
 #[derive(Clone, Debug)]
 pub struct FlowConfig {
@@ -204,6 +326,23 @@ pub struct FlowConfig {
     /// `PD_FULL_REDUCE` environment variable is set — the A/B switch for
     /// comparing the two Reduce paths.
     pub full_reduce: bool,
+    /// Effort budget (decomposer candidate trials) for the `Decompose`
+    /// stage. The meter counts work, never wall-clock, so a budgeted run
+    /// stops at the same place on every machine and thread count.
+    /// Defaults to the `PD_BUDGET_DECOMPOSE` environment variable, or
+    /// unlimited (`u64::MAX`).
+    pub budget_decompose: u64,
+    /// Effort budget for the `Reduce` stage (worklist close rounds plus
+    /// the arbitration re-decomposition). Defaults to
+    /// `PD_BUDGET_REDUCE`, or unlimited.
+    pub budget_reduce: u64,
+    /// Effort budget for the `Factor` stage's global divisor search
+    /// (candidate divisors considered). Defaults to `PD_BUDGET_FACTOR`,
+    /// or unlimited.
+    pub budget_factor: u64,
+    /// Deterministic fault to inject (see [`FaultPlan`]). Defaults to
+    /// the `PD_FAULT` environment variable, or `None`.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for FlowConfig {
@@ -218,6 +357,12 @@ impl Default for FlowConfig {
             library: CellLibrary::umc130(),
             verify: std::env::var_os("PD_SKIP_VERIFY").is_none(),
             full_reduce: std::env::var_os("PD_FULL_REDUCE").is_some(),
+            budget_decompose: env_budget("PD_BUDGET_DECOMPOSE"),
+            budget_reduce: env_budget("PD_BUDGET_REDUCE"),
+            budget_factor: env_budget("PD_BUDGET_FACTOR"),
+            // A malformed PD_FAULT fails fast: the harness silently not
+            // injecting would make every fault test vacuously green.
+            fault: FaultPlan::from_env().unwrap_or_else(|e| panic!("PD_FAULT: {e}")),
         }
     }
 }
@@ -273,6 +418,18 @@ pub struct StageReport {
     /// Consumer substitutions beyond each divisor's first use (global
     /// `Factor` only).
     pub divisor_reuse_count: Option<usize>,
+    /// Rung of the stage's degradation ladder that produced this result,
+    /// when it was **not** the preferred first rung (e.g.
+    /// `"worklist-only"`, `"full-reduce"`, `"local"`, `"skip"`,
+    /// `"greedy"`). `None` means the stage ran at full strength.
+    pub degraded: Option<String>,
+    /// Why the stage did not run at full strength: the failures of the
+    /// rungs above the one that succeeded, a budget exhaustion, or an
+    /// injected fault that had no effect ("inert").
+    pub degradation_reason: Option<String>,
+    /// Deterministic effort spent by the stage's meter (metered stages
+    /// only: `Decompose`, `Reduce`, global `Factor`).
+    pub effort_spent: Option<u64>,
 }
 
 impl StageReport {
@@ -295,7 +452,19 @@ impl StageReport {
             refine_arbitrated: None,
             shared_divisors: None,
             divisor_reuse_count: None,
+            degraded: None,
+            degradation_reason: None,
+            effort_spent: None,
         }
+    }
+
+    /// Appends `note` to the degradation reason (keeping any earlier
+    /// note, separated by `"; "`).
+    fn note_degradation(&mut self, note: String) {
+        self.degradation_reason = Some(match self.degradation_reason.take() {
+            Some(prev) => format!("{prev}; {note}"),
+            None => note,
+        });
     }
 
     /// Serialises the report as one JSON object.
@@ -351,6 +520,17 @@ impl StageReport {
         if let Some(v) = self.divisor_reuse_count {
             fields.push(("divisor_reuse_count", Json::from(v)));
         }
+        if let Some(v) = &self.degraded {
+            fields.push(("degraded", Json::from(v.as_str())));
+        }
+        if let Some(v) = &self.degradation_reason {
+            fields.push(("degradation_reason", Json::from(v.as_str())));
+        }
+        if let Some(v) = self.effort_spent {
+            // u64::MAX-adjacent spends do not occur in practice; the f64
+            // round-trip is exact for every realistic trial count.
+            fields.push(("effort_spent", Json::Num(v as f64)));
+        }
         Json::obj(fields)
     }
 }
@@ -373,10 +553,21 @@ pub enum FlowError {
         /// The manager's capacity error.
         error: CapacityError,
     },
-    /// The flow panicked mid-stage. Only produced by the batch driver,
-    /// which fences each circuit so one panicking flow cannot take down
-    /// (or reorder) its siblings; the payload is the panic message.
+    /// The flow panicked mid-stage: every rung of the stage's
+    /// degradation ladder panicked inside its fence (the payload is the
+    /// last panic message). Also produced by the batch driver's outer
+    /// fence for panics escaping the flow itself (e.g. input
+    /// validation).
     Panicked(String),
+    /// A flow specification failed to parse. `position` is the byte
+    /// offset for JSON syntax errors, `None` for semantic errors
+    /// (unknown keys, type mismatches).
+    BadSpec {
+        /// Byte offset of the syntax error, when known.
+        position: Option<usize>,
+        /// What was wrong with the specification.
+        message: String,
+    },
     /// [`Flow::run_next`] was called after the last stage.
     Exhausted,
 }
@@ -393,6 +584,10 @@ impl fmt::Display for FlowError {
                 write!(f, "stage {stage} verification overflowed: {error}")
             }
             FlowError::Panicked(msg) => write!(f, "flow panicked: {msg}"),
+            FlowError::BadSpec { position, message } => match position {
+                Some(pos) => write!(f, "bad flow spec at byte {pos}: {message}"),
+                None => write!(f, "bad flow spec: {message}"),
+            },
             FlowError::Exhausted => f.write_str("flow already completed all stages"),
         }
     }
@@ -459,11 +654,17 @@ pub struct Flow {
     verifier: Option<VerifyContext>,
     reports: Vec<StageReport>,
     next: usize,
+    /// Remaining injection opportunities of [`FlowConfig::fault`].
+    fault_remaining: u32,
+    /// Whether the armed fault fired during the stage currently running
+    /// (reset by [`Flow::run_next`]; used to detect inert faults).
+    fault_fired: bool,
 }
 
 impl Flow {
     /// Prepares a flow; nothing runs until [`Flow::run_next`].
     pub fn new(input: FlowInput, cfg: FlowConfig) -> Self {
+        let fault_remaining = cfg.fault.map_or(0, |f| f.fires);
         Flow {
             cfg,
             name: input.name,
@@ -477,6 +678,8 @@ impl Flow {
             verifier: None,
             reports: Vec::new(),
             next: 0,
+            fault_remaining,
+            fault_fired: false,
         }
     }
 
@@ -531,22 +734,122 @@ impl Flow {
 
     /// Runs the next stage and returns its report.
     ///
+    /// Each stage executes a **degradation ladder**: an ordered list of
+    /// rungs, each inside its own panic fence, each committing flow state
+    /// only after its boundary verifies. A rung failure (panic, red
+    /// oracle, BDD overflow) is recorded and the next rung tried; only a
+    /// ladder whose every rung failed aborts the flow, with the last
+    /// rung's error.
+    ///
     /// # Errors
     ///
-    /// [`FlowError::Mismatch`] / [`FlowError::Capacity`] from the boundary
-    /// oracle, or [`FlowError::Exhausted`] when all five stages have run.
+    /// [`FlowError::Mismatch`] / [`FlowError::Capacity`] /
+    /// [`FlowError::Panicked`] when a stage's whole ladder failed, or
+    /// [`FlowError::Exhausted`] when all five stages have run.
     pub fn run_next(&mut self) -> Result<&StageReport, FlowError> {
         let stage = self.next_stage().ok_or(FlowError::Exhausted)?;
+        self.fault_fired = false;
         let report = match stage {
             StageKind::Decompose => self.stage_decompose()?,
             StageKind::Reduce => self.stage_reduce()?,
             StageKind::Factor => self.stage_factor()?,
             StageKind::TechMap => self.stage_techmap()?,
-            StageKind::Sta => self.stage_sta(),
+            StageKind::Sta => self.stage_sta()?,
         };
         self.next += 1;
         self.reports.push(report);
         Ok(self.reports.last().expect("just pushed"))
+    }
+
+    /// True when the armed fault targets `stage` with `mode` and still
+    /// has injection opportunities left.
+    fn fault_armed(&self, stage: StageKind, mode: FaultMode) -> bool {
+        self.fault_remaining > 0
+            && self
+                .cfg
+                .fault
+                .is_some_and(|f| f.stage == stage && f.mode == mode)
+    }
+
+    /// The stage's effort budget, after the `budget` fault mode (which
+    /// zeroes it, consuming one injection opportunity).
+    fn effective_budget(&mut self, stage: StageKind) -> u64 {
+        if self.fault_armed(stage, FaultMode::Budget) {
+            self.fault_remaining -= 1;
+            self.fault_fired = true;
+            return 0;
+        }
+        match stage {
+            StageKind::Decompose => self.cfg.budget_decompose,
+            StageKind::Reduce => self.cfg.budget_reduce,
+            StageKind::Factor => self.cfg.budget_factor,
+            StageKind::TechMap | StageKind::Sta => u64::MAX,
+        }
+    }
+
+    /// Fires the `panic` fault mode. Called at the top of every rung,
+    /// *inside* the rung's fence, so the injected panic exercises the
+    /// exact recovery path a real one would.
+    fn inject_panic_if_armed(&mut self, stage: StageKind, rung: &str) {
+        if self.fault_armed(stage, FaultMode::Panic) {
+            self.fault_remaining -= 1;
+            self.fault_fired = true;
+            panic!("injected fault: stage {stage}, rung {rung}");
+        }
+    }
+
+    /// A fault aimed at this stage that never found an injection point
+    /// (e.g. `mismatch` on a stage that runs no verification) is
+    /// consumed and reported rather than silently ignored, so a faulted
+    /// run always leaves a trace.
+    fn inert_fault_note(&mut self, stage: StageKind) -> Option<String> {
+        let plan = self.cfg.fault?;
+        if plan.stage != stage || self.fault_fired || self.fault_remaining == 0 {
+            return None;
+        }
+        self.fault_remaining -= 1;
+        self.fault_fired = true;
+        Some(format!(
+            "fault {:?} targeted stage {stage} but found no injection point (inert)",
+            plan.mode.name()
+        ))
+    }
+
+    /// Drives one stage's degradation ladder (see [`Flow::run_next`]).
+    fn run_ladder(
+        &mut self,
+        stage: StageKind,
+        rungs: Vec<(&'static str, RungBody<'_>)>,
+    ) -> Result<StageReport, FlowError> {
+        let mut failures: Vec<String> = Vec::new();
+        let mut last: Option<FlowError> = None;
+        for (i, (name, body)) in rungs.into_iter().enumerate() {
+            // Rungs only mutate flow state after their boundary verifies,
+            // so a caught unwind leaves the previous stage's state intact
+            // and the next rung starts clean.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.inject_panic_if_armed(stage, name);
+                body(self)
+            }))
+            .unwrap_or_else(|payload| Err(FlowError::Panicked(panic_message(payload))));
+            match attempt {
+                Ok(mut report) => {
+                    if i > 0 {
+                        report.degraded = Some(name.to_owned());
+                        report.note_degradation(failures.join("; "));
+                    }
+                    if let Some(note) = self.inert_fault_note(stage) {
+                        report.note_degradation(note);
+                    }
+                    return Ok(report);
+                }
+                Err(e) => {
+                    failures.push(format!("rung {name}: {e}"));
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("every ladder has at least one rung"))
     }
 
     /// Runs every remaining stage and summarises.
@@ -581,6 +884,20 @@ impl Flow {
         report: &mut StageReport,
         new: &Netlist,
     ) -> Result<(), FlowError> {
+        // The `mismatch` fault mode fires here — before the real oracle,
+        // and regardless of `verify`, so the handling path is exercised
+        // even in benchmark (no-verify) configurations.
+        if self.fault_armed(report.stage, FaultMode::Mismatch) {
+            self.fault_remaining -= 1;
+            self.fault_fired = true;
+            return Err(FlowError::Mismatch {
+                stage: report.stage,
+                mismatch: ExactMismatch {
+                    output: "<injected>".into(),
+                    assignment: Vec::new(),
+                },
+            });
+        }
         if !self.cfg.verify {
             return Ok(());
         }
@@ -604,8 +921,9 @@ impl Flow {
         }
     }
 
-    /// Shared body of the two decomposition stages: run the decomposer
-    /// under `cfg`, snapshot, record metrics, verify, commit state.
+    /// Shared body of the decomposition rungs: run the decomposer under
+    /// `cfg` (metered by `cfg.effort_budget`), snapshot, record metrics,
+    /// verify, commit state.
     fn run_decomposition_stage(
         &mut self,
         stage: StageKind,
@@ -613,13 +931,24 @@ impl Flow {
     ) -> Result<StageReport, FlowError> {
         let mut report = StageReport::new(stage);
         let t = std::time::Instant::now();
-        let d = ProgressiveDecomposer::new(cfg)
-            .decompose(self.input_pool.clone(), self.spec.clone());
+        let mut meter = EffortMeter::with_budget(cfg.effort_budget);
+        let d = ProgressiveDecomposer::new(cfg).decompose_metered(
+            self.input_pool.clone(),
+            self.spec.clone(),
+            &mut meter,
+        );
         let nl = d.to_netlist();
         report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
         report.literals = Some(d.hierarchy_literal_count());
         report.blocks = Some(d.blocks.len());
         report.gates = Some(live_gates(&nl));
+        report.effort_spent = Some(meter.spent());
+        if meter.exhausted() {
+            report.note_degradation(format!(
+                "effort budget exhausted after {} trials",
+                meter.spent()
+            ));
+        }
         self.verify_boundary(&mut report, &nl)?;
         self.pool = d.pool.clone();
         self.decomposition = Some(d);
@@ -628,8 +957,55 @@ impl Flow {
     }
 
     fn stage_decompose(&mut self) -> Result<StageReport, FlowError> {
-        let cfg = self.cfg.pd.clone().without_basis_refinement();
-        self.run_decomposition_stage(StageKind::Decompose, cfg)
+        let budget = self.effective_budget(StageKind::Decompose);
+        let mut cfg = self.cfg.pd.clone().without_basis_refinement();
+        cfg.effort_budget = cfg.effort_budget.min(budget);
+        // Decompose has no cheaper algorithm to fall back to — its single
+        // rung is fenced, so a panic surfaces as a typed error.
+        self.run_ladder(
+            StageKind::Decompose,
+            vec![(
+                "decompose",
+                Box::new(move |f: &mut Flow| {
+                    f.run_decomposition_stage(StageKind::Decompose, cfg)
+                }),
+            )],
+        )
+    }
+
+    /// One incremental-Reduce rung: refine the stage-1 hierarchy in
+    /// place under `cfg`; the BDD oracle then proves the refined netlist
+    /// equivalent to stage 1's.
+    fn reduce_incremental(&mut self, cfg: PdConfig) -> Result<StageReport, FlowError> {
+        let mut report = StageReport::new(StageKind::Reduce);
+        let t = std::time::Instant::now();
+        let mut d = self
+            .decomposition
+            .as_ref()
+            .expect("decompose ran")
+            .clone();
+        let stats = refine(&mut d, &cfg);
+        let nl = d.to_netlist();
+        report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        report.literals = Some(d.hierarchy_literal_count());
+        report.blocks = Some(d.blocks.len());
+        report.gates = Some(live_gates(&nl));
+        report.refine_passes = Some(stats.passes);
+        report.refine_leaders_removed = Some(stats.leaders_removed);
+        report.refine_reuses = Some(stats.leader_reuses);
+        report.refine_arbitrated = Some(stats.arbitrated);
+        report.effort_spent = Some(stats.effort_spent);
+        if stats.budget_exhausted {
+            report.note_degradation(format!(
+                "effort budget exhausted after {} trials",
+                stats.effort_spent
+            ));
+        }
+        self.verify_boundary(&mut report, &nl)?;
+        self.pool = d.pool.clone();
+        self.decomposition = Some(d);
+        self.netlist = Some(nl);
+        Ok(report)
     }
 
     fn stage_reduce(&mut self) -> Result<StageReport, FlowError> {
@@ -643,54 +1019,47 @@ impl Flow {
             report.literals = Some(d.hierarchy_literal_count());
             report.blocks = Some(d.blocks.len());
             report.gates = self.netlist.as_ref().map(live_gates);
+            if let Some(note) = self.inert_fault_note(StageKind::Reduce) {
+                report.note_degradation(note);
+            }
             return Ok(report);
         }
-        if self.cfg.full_reduce {
-            // A/B fallback: the pre-incremental from-scratch re-run.
-            return self.run_decomposition_stage(StageKind::Reduce, self.cfg.pd.clone());
+        let budget = self.effective_budget(StageKind::Reduce);
+        let mut base = self.cfg.pd.clone();
+        base.effort_budget = base.effort_budget.min(budget);
+        let mut rungs: Vec<(&'static str, RungBody<'_>)> = Vec::new();
+        if !self.cfg.full_reduce {
+            let c1 = base.clone();
+            rungs.push((
+                "incremental",
+                Box::new(move |f: &mut Flow| f.reduce_incremental(c1)),
+            ));
+            let c2 = base.clone().without_refine_arbitration();
+            rungs.push((
+                "worklist-only",
+                Box::new(move |f: &mut Flow| f.reduce_incremental(c2)),
+            ));
         }
-        // Incremental path: refine the stage-1 hierarchy in place with
-        // the dirty-block worklist instead of re-decomposing; the BDD
-        // oracle then proves the refined netlist equivalent to stage 1's.
-        let mut report = StageReport::new(StageKind::Reduce);
-        let t = std::time::Instant::now();
-        let mut d = self
-            .decomposition
-            .as_ref()
-            .expect("decompose ran")
-            .clone();
-        let stats = refine(&mut d, &self.cfg.pd);
-        let nl = d.to_netlist();
-        report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        report.literals = Some(d.hierarchy_literal_count());
-        report.blocks = Some(d.blocks.len());
-        report.gates = Some(live_gates(&nl));
-        report.refine_passes = Some(stats.passes);
-        report.refine_leaders_removed = Some(stats.leaders_removed);
-        report.refine_reuses = Some(stats.leader_reuses);
-        report.refine_arbitrated = Some(stats.arbitrated);
-        self.verify_boundary(&mut report, &nl)?;
-        self.pool = d.pool.clone();
-        self.decomposition = Some(d);
-        self.netlist = Some(nl);
-        Ok(report)
+        // Last rung (and the whole stage under PD_FULL_REDUCE): the
+        // pre-incremental from-scratch re-decomposition.
+        let c3 = base;
+        rungs.push((
+            "full-reduce",
+            Box::new(move |f: &mut Flow| f.run_decomposition_stage(StageKind::Reduce, c3)),
+        ));
+        self.run_ladder(StageKind::Reduce, rungs)
     }
 
-    /// The `Factor` stage: workspace-wide shared-divisor resynthesis by
-    /// default, the pre-global per-block path under
-    /// [`FlowConfig::local_factor`].
-    fn stage_factor(&mut self) -> Result<StageReport, FlowError> {
-        if self.cfg.local_factor {
-            return self.stage_factor_local();
-        }
+    /// The global-Factor rung: workspace-wide shared-divisor
+    /// resynthesis. Every leader of every block plus every output enters
+    /// ONE network, so a divisor is extracted once no matter how many
+    /// blocks rediscover it, and the shared synthesiser stitches the
+    /// divisor nets across cone boundaries.
+    fn factor_global(&mut self, cfg: GlobalConfig) -> Result<StageReport, FlowError> {
         let mut report = StageReport::new(StageKind::Factor);
         let d = self.decomposition.as_ref().expect("decompose ran");
         let t = std::time::Instant::now();
         let mut scratch = self.pool.clone();
-        // Every leader of every block plus every output enters ONE
-        // network, so a divisor is extracted once no matter how many
-        // blocks rediscover it, and the shared synthesiser stitches the
-        // divisor nets across cone boundaries.
         let mut net = GlobalNetwork::new();
         for (bi, block) in d.blocks.iter().enumerate() {
             for (v, e) in &block.basis {
@@ -700,7 +1069,7 @@ impl Flow {
         for (name, e) in &d.outputs {
             net.add_output(name, e);
         }
-        let stats = net.extract(&mut scratch, &self.cfg.global_extract);
+        let stats = net.extract(&mut scratch, &cfg);
         let (nl, extracted) = net.synthesize_choosing();
         report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
         report.literals = Some(if extracted {
@@ -712,10 +1081,49 @@ impl Flow {
         report.shared_divisors = Some(if extracted { stats.shared_divisors } else { 0 });
         report.divisor_reuse_count =
             Some(if extracted { stats.divisor_reuse_count } else { 0 });
+        report.effort_spent = Some(stats.effort_spent);
+        if stats.budget_exhausted {
+            report.note_degradation(format!(
+                "effort budget exhausted after {} trials",
+                stats.effort_spent
+            ));
+        }
         self.verify_boundary(&mut report, &nl)?;
         self.pool = scratch;
         self.netlist = Some(nl);
         Ok(report)
+    }
+
+    /// The final Factor rung: pass the Reduce netlist through unchanged.
+    /// Nothing moves, so there is no boundary to verify and no way for
+    /// this rung to fail (short of an injected panic).
+    fn factor_skip(&mut self) -> Result<StageReport, FlowError> {
+        let mut report = StageReport::new(StageKind::Factor);
+        let d = self.decomposition.as_ref().expect("decompose ran");
+        report.literals = Some(d.hierarchy_literal_count());
+        report.gates = self.netlist.as_ref().map(live_gates);
+        Ok(report)
+    }
+
+    /// The `Factor` stage ladder: global → local → skip (the per-block
+    /// path is first under [`FlowConfig::local_factor`]).
+    fn stage_factor(&mut self) -> Result<StageReport, FlowError> {
+        let budget = self.effective_budget(StageKind::Factor);
+        let mut rungs: Vec<(&'static str, RungBody<'_>)> = Vec::new();
+        if !self.cfg.local_factor {
+            let mut cfg = self.cfg.global_extract.clone();
+            cfg.effort_budget = cfg.effort_budget.min(budget);
+            rungs.push((
+                "global",
+                Box::new(move |f: &mut Flow| f.factor_global(cfg)),
+            ));
+        }
+        rungs.push((
+            "local",
+            Box::new(|f: &mut Flow| f.stage_factor_local()),
+        ));
+        rungs.push(("skip", Box::new(|f: &mut Flow| f.factor_skip())));
+        self.run_ladder(StageKind::Factor, rungs)
     }
 
     /// The retained per-block Factor path (`PD_LOCAL_FACTOR=1`): each
@@ -802,12 +1210,17 @@ impl Flow {
         Ok(report)
     }
 
-    fn stage_techmap(&mut self) -> Result<StageReport, FlowError> {
+    /// One TechMap rung: map with `mapper`, verify the mapping by
+    /// re-expressing the cells as gates, commit.
+    fn techmap_with(
+        &mut self,
+        mapper: fn(&Netlist) -> MappedNetlist,
+    ) -> Result<StageReport, FlowError> {
         let mut report = StageReport::new(StageKind::TechMap);
         let prev = self.netlist.as_ref().expect("factor ran");
         let t = std::time::Instant::now();
         let swept = prev.sweep();
-        let mapped = map::map(&swept);
+        let mapped = mapper(&swept);
         // The snapshot the oracle sees is the mapped design re-expressed
         // as gates — verifying the mapper's absorption decisions, not the
         // pre-map netlist again.
@@ -822,19 +1235,57 @@ impl Flow {
         Ok(report)
     }
 
-    fn stage_sta(&mut self) -> StageReport {
-        let mut report = StageReport::new(StageKind::Sta);
-        let mapped = self.mapped.as_ref().expect("techmap ran");
-        let t = std::time::Instant::now();
-        let r = report_mapped(mapped, &self.cfg.library);
-        report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        report.cells = Some(r.cell_count);
-        report.area_um2 = Some(r.area_um2);
-        report.delay_ns = Some(r.delay_ns);
-        report.critical_output = r.critical_output.clone();
-        self.sta = Some(r);
-        report
+    /// The `TechMap` stage ladder: the pattern-absorbing planner, then
+    /// the 1:1 greedy mapper (no absorption, strictly local, cannot
+    /// misplan).
+    fn stage_techmap(&mut self) -> Result<StageReport, FlowError> {
+        self.run_ladder(
+            StageKind::TechMap,
+            vec![
+                ("planner", Box::new(|f: &mut Flow| f.techmap_with(map::map))),
+                (
+                    "greedy",
+                    Box::new(|f: &mut Flow| f.techmap_with(map::map_greedy)),
+                ),
+            ],
+        )
     }
+
+    fn stage_sta(&mut self) -> Result<StageReport, FlowError> {
+        // Reporting only — a single fenced rung with no fallback.
+        self.run_ladder(
+            StageKind::Sta,
+            vec![(
+                "sta",
+                Box::new(|f: &mut Flow| {
+                    let mut report = StageReport::new(StageKind::Sta);
+                    let mapped = f.mapped.as_ref().expect("techmap ran");
+                    let t = std::time::Instant::now();
+                    let r = report_mapped(mapped, &f.cfg.library);
+                    report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+                    report.cells = Some(r.cell_count);
+                    report.area_um2 = Some(r.area_um2);
+                    report.delay_ns = Some(r.delay_ns);
+                    report.critical_output = r.critical_output.clone();
+                    f.sta = Some(r);
+                    Ok(report)
+                }),
+            )],
+        )
+    }
+}
+
+/// One rung of a stage's degradation ladder: runs against the flow,
+/// produces the stage report or the failure the next rung recovers from.
+type RungBody<'a> = Box<dyn FnOnce(&mut Flow) -> Result<StageReport, FlowError> + 'a>;
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
 }
 
 /// Live (output-reachable) gate count of a netlist.

@@ -13,9 +13,19 @@
 //!   "local_factor": false,
 //!   "factor_max_support": 12,
 //!   "extract": { "max_rounds": 256, "min_gain": 1 },
+//!   "budget_decompose": 100000,
+//!   "budget_reduce": 100000,
+//!   "budget_factor": 100000,
+//!   "fault": "reduce:panic:1",
 //!   "out": "FLOW_STATS.json"
 //! }
 //! ```
+//!
+//! The `budget_*` keys bound per-stage effort (decomposer trials /
+//! divisor candidates — deterministic counters, not wall-clock); `fault`
+//! arms the deterministic fault-injection harness with the same
+//! `<stage>:<mode>[:<count>]` syntax as the `PD_FAULT` environment
+//! variable.
 //!
 //! Circuit entries are resolved by [`circuit_by_name`]: a generator name
 //! with a width suffix (`maj15`, `adder8`, …) instantiates the matching
@@ -26,7 +36,7 @@
 //! (`name = expr` lines).
 
 use crate::json::Json;
-use crate::{FlowConfig, FlowInput};
+use crate::{FaultPlan, FlowConfig, FlowError, FlowInput};
 use pd_anf::{Anf, VarPool};
 use pd_arith::{
     Adder, Cla, Comparator, Counter, Gray, Lod, Lzd, Majority, Multiplier, Parity,
@@ -237,10 +247,24 @@ impl FlowSpec {
     ///
     /// # Errors
     ///
-    /// JSON syntax errors, unknown keys, and type mismatches.
-    pub fn parse(text: &str) -> Result<FlowSpec, String> {
-        let doc = Json::parse(text)?;
-        let Json::Obj(fields) = &doc else {
+    /// [`FlowError::BadSpec`] for JSON syntax errors (with the byte
+    /// offset), unknown keys, and type mismatches. Malformed input never
+    /// panics.
+    pub fn parse(text: &str) -> Result<FlowSpec, FlowError> {
+        let doc = Json::parse(text).map_err(|e| FlowError::BadSpec {
+            position: Some(e.pos),
+            message: e.msg,
+        })?;
+        FlowSpec::from_json(&doc).map_err(|message| FlowError::BadSpec {
+            position: None,
+            message,
+        })
+    }
+
+    /// The semantic half of [`FlowSpec::parse`]: schema checks over an
+    /// already-parsed document.
+    fn from_json(doc: &Json) -> Result<FlowSpec, String> {
+        let Json::Obj(fields) = doc else {
             return Err("flow spec must be a JSON object".into());
         };
         let mut spec = FlowSpec {
@@ -296,6 +320,24 @@ impl FlowSpec {
                 "minimize" => spec.config.minimize = boolean(value, key)?,
                 "full_reduce" => spec.config.full_reduce = boolean(value, key)?,
                 "local_factor" => spec.config.local_factor = boolean(value, key)?,
+                // Effort budgets: usize is enough headroom for any spec a
+                // human writes; unset keys stay unlimited.
+                "budget_decompose" => {
+                    spec.config.budget_decompose = unsigned(value, key)? as u64;
+                }
+                "budget_reduce" => {
+                    spec.config.budget_reduce = unsigned(value, key)? as u64;
+                }
+                "budget_factor" => {
+                    spec.config.budget_factor = unsigned(value, key)? as u64;
+                }
+                "fault" => {
+                    let text = value
+                        .as_str()
+                        .ok_or("key \"fault\" must be a string like \"reduce:panic:2\"")?;
+                    spec.config.fault =
+                        Some(FaultPlan::parse(text).map_err(|e| format!("key \"fault\": {e}"))?);
+                }
                 "factor_max_support" => {
                     spec.config.factor_max_support = unsigned(value, key)?;
                 }
@@ -423,6 +465,48 @@ mod tests {
         let ok = FlowSpec::parse(r#"{"circuits": ["maj7"], "extract": {"min_gain": -3}}"#)
             .unwrap();
         assert_eq!(ok.config.extract.min_gain, -3);
+    }
+
+    #[test]
+    fn spec_parses_budgets_and_fault() {
+        use crate::{FaultMode, StageKind};
+        let spec = FlowSpec::parse(
+            r#"{"circuits": ["maj7"], "budget_reduce": 500, "fault": "factor:mismatch:2"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.config.budget_reduce, 500);
+        assert_eq!(spec.config.budget_decompose, u64::MAX, "unset stays unlimited");
+        assert_eq!(
+            spec.config.fault,
+            Some(FaultPlan {
+                stage: StageKind::Factor,
+                mode: FaultMode::Mismatch,
+                fires: 2
+            })
+        );
+        assert!(FlowSpec::parse(r#"{"circuits": ["maj7"], "fault": "warp:panic"}"#).is_err());
+        assert!(FlowSpec::parse(r#"{"circuits": ["maj7"], "fault": "reduce:panic:0"}"#).is_err());
+        assert!(FlowSpec::parse(r#"{"circuits": ["maj7"], "budget_reduce": -1}"#).is_err());
+    }
+
+    #[test]
+    fn bad_spec_errors_are_typed_with_positions() {
+        // Syntax errors carry the byte offset of the failure…
+        let e = FlowSpec::parse("{\"circuits\": [").unwrap_err();
+        assert!(
+            matches!(e, FlowError::BadSpec { position: Some(_), .. }),
+            "{e}"
+        );
+        // …semantic errors name the offending key.
+        let e = FlowSpec::parse(r#"{"circuits": ["maj7"], "bogus": 1}"#).unwrap_err();
+        assert!(
+            matches!(&e, FlowError::BadSpec { position: None, message } if message.contains("bogus")),
+            "{e}"
+        );
+        // Previously-panicking malformed inputs now parse to errors.
+        for doc in ["1e999", "[".repeat(5000).as_str()] {
+            assert!(FlowSpec::parse(doc).is_err(), "{doc:?}");
+        }
     }
 
     #[test]

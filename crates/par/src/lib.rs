@@ -10,6 +10,13 @@
 //! * [`par_apply_mut`] — in-place parallel mutation of disjoint chunks,
 //!   for bit-parallel transforms such as truth-table construction.
 //!
+//! It also hosts [`EffortMeter`], the engine-wide deterministic trial
+//! budget: a plain counter charged in whole batches by orchestrating
+//! code, so budgeted runs stop at the same point regardless of thread
+//! count or machine speed. It lives here (the dependency-free bottom
+//! crate) so every layer — decomposer, refiner, global factoring, the
+//! flow — can share one type without a dependency cycle.
+//!
 //! ## Knobs
 //!
 //! The worker count is `PD_THREADS` when set (clamped to ≥ 1, so
@@ -244,9 +251,113 @@ pub fn par_apply_mut<T: Send>(
     });
 }
 
+/// A deterministic effort budget counted in *trials*, never wall-clock.
+///
+/// The engine's search loops (exhaustive group scoring, refine close
+/// rounds, global divisor extraction) charge this meter with the number
+/// of candidates they are about to evaluate; once the budget is spent
+/// they stop early — always at the same point for the same input, so
+/// results stay bit-identical across `PD_THREADS` and machine speeds.
+/// Charging is done by the *orchestrating* code in whole deterministic
+/// batches (never from inside worker threads), which is why a plain
+/// `&mut` meter suffices and no atomics are involved.
+///
+/// # Examples
+///
+/// ```
+/// use pd_par::EffortMeter;
+/// let mut m = EffortMeter::with_budget(10);
+/// m.charge(7);
+/// assert!(!m.exhausted());
+/// m.charge(7); // crossing the budget is allowed; the batch completes
+/// assert!(m.exhausted());
+/// assert_eq!(m.spent(), 14);
+/// assert!(!EffortMeter::unlimited().exhausted());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EffortMeter {
+    spent: u64,
+    budget: u64,
+}
+
+impl EffortMeter {
+    /// A meter that never exhausts (budget `u64::MAX`).
+    pub fn unlimited() -> Self {
+        EffortMeter {
+            spent: 0,
+            budget: u64::MAX,
+        }
+    }
+
+    /// A meter with a fixed trial budget. A budget of `u64::MAX` is
+    /// unlimited; a budget of `0` is exhausted before any work.
+    pub fn with_budget(budget: u64) -> Self {
+        EffortMeter { spent: 0, budget }
+    }
+
+    /// Records `trials` units of work. The batch being charged is
+    /// expected to run to completion even if this crosses the budget —
+    /// exhaustion is checked *between* batches, so the stopping point is
+    /// a deterministic function of the charge sequence alone.
+    pub fn charge(&mut self, trials: u64) {
+        self.spent = self.spent.saturating_add(trials);
+    }
+
+    /// Whether the budget is spent (callers should stop starting work).
+    pub fn exhausted(&self) -> bool {
+        self.spent >= self.budget
+    }
+
+    /// Total trials charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// The configured budget (`u64::MAX` when unlimited).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Whether a budget was actually configured (not [`Self::unlimited`]).
+    pub fn is_limited(&self) -> bool {
+        self.budget != u64::MAX
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn effort_meter_charges_and_exhausts() {
+        let mut m = EffortMeter::with_budget(5);
+        assert!(!m.exhausted());
+        assert!(m.is_limited());
+        m.charge(4);
+        assert!(!m.exhausted());
+        m.charge(1);
+        assert!(m.exhausted());
+        assert_eq!(m.spent(), 5);
+        assert_eq!(m.budget(), 5);
+        // Saturating, never wrapping.
+        m.charge(u64::MAX);
+        assert_eq!(m.spent(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_budget_is_exhausted_before_any_work() {
+        let m = EffortMeter::with_budget(0);
+        assert!(m.exhausted());
+        assert_eq!(m.spent(), 0);
+    }
+
+    #[test]
+    fn unlimited_meter_never_exhausts() {
+        let mut m = EffortMeter::unlimited();
+        assert!(!m.is_limited());
+        m.charge(u64::MAX - 1);
+        assert!(!m.exhausted());
+    }
 
     #[test]
     fn par_map_preserves_order() {

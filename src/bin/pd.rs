@@ -53,6 +53,13 @@
 //!   --local-factor per-block Factor instead of the workspace-wide
 //!                  shared-divisor network (A/B; same as PD_LOCAL_FACTOR=1)
 //!   -k <N>         group size override
+//!
+//! Robustness knobs (environment): `PD_BUDGET_DECOMPOSE` /
+//! `PD_BUDGET_REDUCE` / `PD_BUDGET_FACTOR` bound per-stage effort with
+//! deterministic trial counters, and `PD_FAULT=<stage>:<mode>[:<count>]`
+//! (modes: panic, budget, mismatch) injects a deterministic fault to
+//! exercise each stage's degradation ladder — degradations are reported
+//! under the per-stage table and in the JSON stats.
 //! ```
 
 use progressive_decomposition::prelude::*;
@@ -206,7 +213,7 @@ fn run_flow(args: &[String]) -> Result<(), String> {
         } else {
             std::fs::read_to_string(&target).map_err(|e| format!("reading {target}: {e}"))?
         };
-        let spec = FlowSpec::parse(&text)?;
+        let spec = FlowSpec::parse(&text).map_err(|e| e.to_string())?;
         (spec.resolve()?, spec.config, spec.out)
     } else {
         let mut inputs = Vec::new();
@@ -284,6 +291,14 @@ fn run_flow(args: &[String]) -> Result<(), String> {
                         area_um2.map_or(String::from("-"), |v| format!("{v:.1}µm²")),
                         delay_ns.map_or(String::from("-"), |v| format!("{v:.2}ns")),
                     );
+                    if s.degraded.is_some() || s.degradation_reason.is_some() {
+                        println!(
+                            "  {:<10} ! degraded to {} ({})",
+                            "",
+                            s.degraded.as_deref().unwrap_or("<same rung>"),
+                            s.degradation_reason.as_deref().unwrap_or("no reason recorded"),
+                        );
+                    }
                 }
             }
             Err(e) => {

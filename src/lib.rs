@@ -75,6 +75,50 @@
 //! `BENCH_RUNTIME.json` tracks both as `flow/<circuit>/factor-global`
 //! vs `flow/<circuit>/factor-local`, with mapped cell counts.
 //!
+//! ## Budgets, degradation ladders, fault injection
+//!
+//! Flow execution is *budgeted* and *fault-tolerant*. Effort is metered
+//! deterministically — `pd_par::EffortMeter` counts **trials**
+//! (candidate groups probed, divisors scored), never wall-clock, so the
+//! same budget produces bit-identical results at any `PD_THREADS`.
+//! `PD_BUDGET_DECOMPOSE`, `PD_BUDGET_REDUCE` and `PD_BUDGET_FACTOR` (or
+//! the matching [`flow::FlowConfig`] fields / spec keys) cap each
+//! stage; a stage that exhausts its meter finishes its current batch,
+//! keeps its best-so-far result, and records the exhaustion in its
+//! report. Within its budget, Reduce also *skips* the arbitration
+//! re-decomposition when the worklist result's gate estimate is already
+//! within a learned bound of the entry estimate (and serves repeated
+//! specs from a process-wide arbitration cache), reclaiming the
+//! incremental path's speed at the arbitrated path's quality —
+//! `BENCH_RUNTIME.json` pins the pair as `flow/<circuit>/reduce-budgeted`
+//! vs `flow/<circuit>/reduce-unbudgeted`.
+//!
+//! Every stage runs inside its own panic fence and degrades down an
+//! ordered ladder of BDD-verified fallbacks instead of failing:
+//!
+//! ```text
+//! reduce :  incremental ──► worklist-only ──► full-reduce
+//! factor :  global ───────► local ──────────► skip
+//! techmap:  planner ──────► greedy
+//! ```
+//!
+//! A rung commits only after its verify boundary is green; a rung that
+//! panics, runs red, or errors is discarded and the next rung starts
+//! from the same pre-stage state. Any degradation is recorded in the
+//! stage's report (`degraded`, `degradation_reason`) and its JSON. Only
+//! when every rung of a ladder is dead does the flow return a typed
+//! [`flow::FlowError`]; a batch (`pd flow all`) then retries that one
+//! circuit once under the safe configuration (from-scratch Reduce,
+//! per-block Factor) before reporting the failure in its slot.
+//!
+//! The ladders are exercised by a deterministic fault-injection
+//! harness: `PD_FAULT=<stage>:<mode>[:<count>]` (modes `panic`,
+//! `budget`, `mismatch`) makes the *count*-th injection opportunity at
+//! the named stage panic, zero the stage budget, or poison the verify
+//! verdict. Every mode on every stage ends in a completed flow with a
+//! recorded degradation or a typed error — never a process abort — and
+//! `tests/fault_injection.rs` pins the full matrix.
+//!
 //! From the command line: `pd flow maj15,counter12`, `pd flow all`, or
 //! `pd flow spec.json` with a [`flow::spec`] document. In code:
 //!
