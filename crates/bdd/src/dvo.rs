@@ -1,0 +1,338 @@
+//! Dynamic variable ordering: Rudell-style sifting over a [`Bdd`].
+//!
+//! No single static order is good for every arithmetic circuit — the
+//! succinctness literature is blunt about this, and multipliers are the
+//! canonical offender. Sifting searches the order space at runtime: each
+//! variable in turn is moved through every level via the manager's
+//! adjacent-level swap primitive and parked where the live node count was
+//! smallest. The [`SiftSchedule`] decides how hard to search: one pass,
+//! pass-to-convergence, or only once the diagram has grown past a
+//! threshold (the mid-construction mode the verification ladder uses).
+//!
+//! Everything here is deterministic: variables are processed densest
+//! level first with ties broken by variable index, so the resulting
+//! order — and therefore every downstream verification verdict — is
+//! identical across runs, thread counts and kernels.
+
+use crate::bdd::{Bdd, BddRef};
+
+/// How much order search a [`sift`] call performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiftSchedule {
+    /// One full sifting pass over all variables.
+    Once,
+    /// Repeat passes until a pass stops improving the live node count,
+    /// or `max_rounds` passes have run.
+    Converge {
+        /// Upper bound on the number of passes.
+        max_rounds: usize,
+    },
+    /// One pass, but only if at least `trigger` nodes are live; otherwise
+    /// the call is a no-op (`passes == 0` in the stats). This is the
+    /// schedule for sifting *during* construction: call it periodically
+    /// with a growing trigger and it fires exactly when the diagram has
+    /// outgrown the current order.
+    Threshold {
+        /// Minimum live node count for the pass to run.
+        trigger: usize,
+    },
+}
+
+/// What a [`sift`] call did, for stage reports and benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct SiftStats {
+    /// Live nodes (reachable from the pinned roots) before sifting.
+    pub initial_live: usize,
+    /// Live nodes after sifting. Never larger than `initial_live`: each
+    /// variable is returned to the best position seen.
+    pub final_live: usize,
+    /// Adjacent-level swaps performed.
+    pub swaps: usize,
+    /// Sifting passes completed (0 when a threshold did not fire).
+    pub passes: usize,
+}
+
+/// When the verification oracle reorders, and how eagerly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DvoMode {
+    /// Never reorder; a capacity overflow surfaces as a hard
+    /// [`crate::CapacityError`] exactly as before this layer existed.
+    Off,
+    /// Try the cheap static orders first and reorder only after a check
+    /// actually hits the node cap (the recovery ladder). The default.
+    #[default]
+    OnCapacity,
+    /// Additionally sift proactively after successful checks, so every
+    /// later check in the same context starts from a compacted order.
+    Sift,
+}
+
+impl DvoMode {
+    /// Parses the `PD_DVO` / flow-spec spelling of a mode.
+    ///
+    /// Accepts `off`, `on-capacity` (also `oncapacity`, `capacity`) and
+    /// `sift`, case-insensitively.
+    pub fn parse(s: &str) -> Option<DvoMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(DvoMode::Off),
+            "on-capacity" | "oncapacity" | "capacity" => Some(DvoMode::OnCapacity),
+            "sift" => Some(DvoMode::Sift),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling `parse` accepts back.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DvoMode::Off => "off",
+            DvoMode::OnCapacity => "on-capacity",
+            DvoMode::Sift => "sift",
+        }
+    }
+}
+
+/// Sifts the manager's variable order to shrink the structure reachable
+/// from `roots`, in place.
+///
+/// Handles in `roots` (and anything reachable from them) remain valid and
+/// keep denoting the same functions; unreachable nodes are dropped from
+/// the unique table and must not be used afterwards. The live node count
+/// never increases: every variable is parked at the best position
+/// encountered, and a growth abort (live > 2·best + 64) keeps a single
+/// variable's exploration from blowing the table up transiently.
+pub fn sift(bdd: &mut Bdd, roots: &[BddRef], schedule: SiftSchedule) -> SiftStats {
+    let mut session = bdd.begin_reorder(roots);
+    let initial_live = session.live();
+    let mut stats = SiftStats {
+        initial_live,
+        final_live: initial_live,
+        swaps: 0,
+        passes: 0,
+    };
+    let max_rounds = match schedule {
+        SiftSchedule::Once => 1,
+        SiftSchedule::Converge { max_rounds } => max_rounds.max(1),
+        SiftSchedule::Threshold { trigger } => {
+            if initial_live < trigger {
+                return stats;
+            }
+            1
+        }
+    };
+    if bdd.var_count() < 2 {
+        return stats;
+    }
+    loop {
+        let before = session.live();
+        // Densest levels first: moving the fattest variable pays the
+        // most. Ties (and the whole order) are deterministic.
+        let pops = bdd.level_populations(&session);
+        let mut vars: Vec<_> = bdd.order().to_vec();
+        vars.sort_by_key(|&v| (std::cmp::Reverse(pops[bdd.var_level(v)]), v.index()));
+        for v in vars {
+            sift_one(bdd, &mut session, v, &mut stats.swaps);
+        }
+        stats.passes += 1;
+        if stats.passes >= max_rounds || session.live() >= before {
+            break;
+        }
+    }
+    stats.final_live = session.live();
+    stats
+}
+
+/// Moves one variable down to the bottom, then up to the top, then back
+/// to the best level seen. Either directional trip aborts early when the
+/// table grows past 2·best + 64 live nodes.
+fn sift_one(bdd: &mut Bdd, session: &mut crate::bdd::ReorderSession, v: pd_anf::Var, swaps: &mut usize) {
+    let levels = bdd.var_count();
+    let start = bdd.var_level(v);
+    let mut pos = start;
+    let mut best_live = session.live();
+    let mut best_pos = start;
+    let grown = |live: usize, best: usize| live > 2 * best + 64;
+    while pos + 1 < levels {
+        bdd.swap_adjacent(session, pos);
+        *swaps += 1;
+        pos += 1;
+        if session.live() < best_live {
+            best_live = session.live();
+            best_pos = pos;
+        } else if grown(session.live(), best_live) {
+            break;
+        }
+    }
+    while pos > 0 {
+        bdd.swap_adjacent(session, pos - 1);
+        *swaps += 1;
+        pos -= 1;
+        if session.live() < best_live {
+            best_live = session.live();
+            best_pos = pos;
+        } else if grown(session.live(), best_live) {
+            break;
+        }
+    }
+    while pos < best_pos {
+        bdd.swap_adjacent(session, pos);
+        *swaps += 1;
+        pos += 1;
+    }
+    while pos > best_pos {
+        bdd.swap_adjacent(session, pos - 1);
+        *swaps += 1;
+        pos -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_anf::{Var, VarPool};
+
+    /// a>b over `width`-bit operands under the *concatenated* order
+    /// a_{w-1}..a_0 b_{w-1}..b_0 — the classic bad order sifting must be
+    /// able to repair toward interleaving.
+    fn comparator_concat(width: usize) -> (Bdd, BddRef, Vec<Var>) {
+        let mut pool = VarPool::new();
+        let a = pool.input_word("a", 0, width);
+        let b = pool.input_word("b", 1, width);
+        let mut order: Vec<Var> = a.iter().rev().copied().collect();
+        order.extend(b.iter().rev().copied());
+        let mut bdd = Bdd::with_order(order.clone());
+        let mut gt = BddRef::FALSE;
+        let mut eq = BddRef::TRUE;
+        for i in (0..width).rev() {
+            let (fa, fb) = (bdd.var(a[i]), bdd.var(b[i]));
+            let nb = bdd.not(fb).unwrap();
+            let a_gt_b = bdd.and(fa, nb).unwrap();
+            let win = bdd.and(eq, a_gt_b).unwrap();
+            gt = bdd.or(gt, win).unwrap();
+            let x = bdd.xor(fa, fb).unwrap();
+            let same = bdd.not(x).unwrap();
+            eq = bdd.and(eq, same).unwrap();
+        }
+        let mut vars = a;
+        vars.extend(b);
+        (bdd, gt, vars)
+    }
+
+    fn truth_table(bdd: &Bdd, f: BddRef, vars: &[Var]) -> Vec<bool> {
+        assert!(vars.len() <= 16);
+        (0..1u32 << vars.len())
+            .map(|bits| {
+                bdd.eval(f, |v| {
+                    let pos = vars.iter().position(|&q| q == v).unwrap();
+                    bits >> pos & 1 == 1
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_swap_preserves_functions() {
+        let (mut bdd, gt, vars) = comparator_concat(3);
+        let before = truth_table(&bdd, gt, &vars);
+        let mut s = bdd.begin_reorder(&[gt]);
+        for i in 0..vars.len() - 1 {
+            bdd.swap_adjacent(&mut s, i);
+            assert_eq!(truth_table(&bdd, gt, &vars), before, "after swap at {i}");
+        }
+        // And back, in reverse.
+        for i in (0..vars.len() - 1).rev() {
+            bdd.swap_adjacent(&mut s, i);
+            assert_eq!(truth_table(&bdd, gt, &vars), before, "after unswap at {i}");
+        }
+    }
+
+    #[test]
+    fn swap_sequence_keeps_live_count_consistent() {
+        let (mut bdd, gt, vars) = comparator_concat(4);
+        let mut s = bdd.begin_reorder(&[gt]);
+        // A deterministic pseudo-random walk over swap positions.
+        let mut x = 0x9e3779b9u32;
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let i = (x as usize) % (vars.len() - 1);
+            bdd.swap_adjacent(&mut s, i);
+            // The session's live count must agree with a fresh reachability
+            // count from the root (terminals excluded).
+            assert_eq!(s.live(), bdd.node_count(gt) - 2);
+        }
+    }
+
+    #[test]
+    fn sift_shrinks_badly_ordered_comparator() {
+        let (mut bdd, gt, vars) = comparator_concat(6);
+        let before_tt = truth_table(&bdd, gt, &vars);
+        let stats = sift(&mut bdd, &[gt], SiftSchedule::Once);
+        assert_eq!(stats.passes, 1);
+        assert!(
+            stats.final_live < stats.initial_live,
+            "sifting must shrink the concatenated-order comparator: {} -> {}",
+            stats.initial_live,
+            stats.final_live
+        );
+        assert_eq!(bdd.node_count(gt) - 2, stats.final_live);
+        assert_eq!(truth_table(&bdd, gt, &vars), before_tt);
+    }
+
+    #[test]
+    fn converge_does_no_worse_than_once() {
+        let (mut bdd1, gt1, _) = comparator_concat(5);
+        let once = sift(&mut bdd1, &[gt1], SiftSchedule::Once);
+        let (mut bdd2, gt2, _) = comparator_concat(5);
+        let conv = sift(&mut bdd2, &[gt2], SiftSchedule::Converge { max_rounds: 8 });
+        assert!(conv.final_live <= once.final_live);
+        assert!(conv.passes >= 1);
+    }
+
+    #[test]
+    fn threshold_gates_the_pass() {
+        let (mut bdd, gt, _) = comparator_concat(4);
+        let live = bdd.node_count(gt) - 2;
+        let skipped = sift(&mut bdd, &[gt], SiftSchedule::Threshold { trigger: live + 1 });
+        assert_eq!(skipped.passes, 0);
+        assert_eq!(skipped.final_live, skipped.initial_live);
+        let ran = sift(&mut bdd, &[gt], SiftSchedule::Threshold { trigger: live });
+        assert_eq!(ran.passes, 1);
+    }
+
+    #[test]
+    fn sift_is_deterministic() {
+        let (mut bdd1, gt1, _) = comparator_concat(5);
+        let s1 = sift(&mut bdd1, &[gt1], SiftSchedule::Converge { max_rounds: 4 });
+        let (mut bdd2, gt2, _) = comparator_concat(5);
+        let s2 = sift(&mut bdd2, &[gt2], SiftSchedule::Converge { max_rounds: 4 });
+        assert_eq!(s1, s2);
+        assert_eq!(bdd1.order(), bdd2.order());
+    }
+
+    #[test]
+    fn manager_stays_usable_after_sift() {
+        // Post-sift, ordinary operations (fresh ITEs, new functions) must
+        // behave: the unique table was purged and the op cache cleared.
+        let (mut bdd, gt, vars) = comparator_concat(4);
+        sift(&mut bdd, &[gt], SiftSchedule::Once);
+        let ngt = bdd.not(gt).unwrap();
+        let t = bdd.or(gt, ngt).unwrap();
+        assert_eq!(t, BddRef::TRUE);
+        // a>b or a<=b partitioned: sat counts add up.
+        let total = 1u64 << vars.len();
+        assert_eq!(bdd.sat_count(gt) + bdd.sat_count(ngt), total as f64);
+    }
+
+    #[test]
+    fn dvo_mode_parses_all_spellings() {
+        assert_eq!(DvoMode::parse("off"), Some(DvoMode::Off));
+        assert_eq!(DvoMode::parse("Sift"), Some(DvoMode::Sift));
+        assert_eq!(DvoMode::parse("on-capacity"), Some(DvoMode::OnCapacity));
+        assert_eq!(DvoMode::parse("capacity"), Some(DvoMode::OnCapacity));
+        assert_eq!(DvoMode::parse("bogus"), None);
+        for m in [DvoMode::Off, DvoMode::OnCapacity, DvoMode::Sift] {
+            assert_eq!(DvoMode::parse(m.as_str()), Some(m));
+        }
+    }
+}

@@ -47,8 +47,12 @@
 mod bdd;
 mod zdd;
 
+pub mod dvo;
+pub mod static_ordering;
 pub mod verify;
 
 pub use bdd::{interleaved_order, Bdd, BddRef, CapacityError, DEFAULT_NODE_CAP};
+pub use dvo::{sift, DvoMode, SiftSchedule, SiftStats};
+pub use static_ordering::{force_order, hyperedges_from_netlist};
 pub use verify::{ExactMismatch, VerifyContext};
 pub use zdd::{Zdd, ZddRef};

@@ -1,0 +1,240 @@
+//! FORCE-style static variable pre-ordering.
+//!
+//! FORCE (Aloul, Markov, Sakallah) is a one-dimensional placement
+//! heuristic: model the circuit as a hypergraph over its variables, then
+//! repeatedly move every variable to the centre of gravity of the
+//! hyperedges it belongs to. Variables that are used together drift
+//! together, which is exactly the property that keeps BDDs of structured
+//! arithmetic small. It costs a few linear passes — cheap enough to run
+//! before every hard verification attempt as the second rung of the
+//! order ladder, between the interleaved default and full sifting.
+//!
+//! The computation is deterministic: ties are broken by the variable's
+//! previous position, the iteration count is fixed, and the best order
+//! seen (by total hyperedge span) is returned.
+
+use crate::bdd::interleaved_order;
+use pd_anf::{Anf, Var, VarPool};
+use pd_netlist::{Gate, Netlist};
+
+/// Number of centre-of-gravity iterations [`force_order`] runs by
+/// default; FORCE converges in O(log n) rounds in practice.
+pub const DEFAULT_FORCE_ROUNDS: usize = 12;
+
+/// Computes a FORCE placement of all pool variables from connectivity
+/// hyperedges (see [`hyperedges_from_netlist`] / [`hyperedges_from_anf`]).
+///
+/// Seeds from the [`interleaved_order`], runs `rounds` centre-of-gravity
+/// iterations, and returns the order with the smallest total hyperedge
+/// span encountered (the seed itself competes, so the result is never
+/// worse-spanned than interleaved). The order is total over the pool;
+/// variables in no hyperedge keep their relative seed positions.
+pub fn force_order(pool: &VarPool, hyperedges: &[Vec<Var>], rounds: usize) -> Vec<Var> {
+    let mut order = interleaved_order(pool);
+    if order.len() < 2 || hyperedges.is_empty() {
+        return order;
+    }
+    // Edges with fewer than two distinct variables exert no force.
+    let edges: Vec<&Vec<Var>> = hyperedges.iter().filter(|e| e.len() >= 2).collect();
+    if edges.is_empty() {
+        return order;
+    }
+    let n_slots = pool.len();
+    let mut best = order.clone();
+    let mut best_span = span(&order, &edges, n_slots);
+    for _ in 0..rounds {
+        let mut pos = vec![0f64; n_slots];
+        for (p, &v) in order.iter().enumerate() {
+            pos[v.index()] = p as f64;
+        }
+        // Pull each variable toward the mean centre of gravity of its
+        // edges; untouched variables keep their current position as the
+        // sort key, so they stay put relative to the moving ones.
+        let mut pull = vec![(0f64, 0usize); n_slots];
+        for edge in &edges {
+            let cog = edge.iter().map(|v| pos[v.index()]).sum::<f64>() / edge.len() as f64;
+            for v in edge.iter() {
+                pull[v.index()].0 += cog;
+                pull[v.index()].1 += 1;
+            }
+        }
+        let key = |v: Var| {
+            let (sum, n) = pull[v.index()];
+            if n == 0 {
+                pos[v.index()]
+            } else {
+                sum / n as f64
+            }
+        };
+        order.sort_by(|&a, &b| {
+            key(a)
+                .partial_cmp(&key(b))
+                .unwrap()
+                .then_with(|| pos[a.index()].partial_cmp(&pos[b.index()]).unwrap())
+        });
+        let s = span(&order, &edges, n_slots);
+        if s < best_span {
+            best_span = s;
+            best = order.clone();
+        }
+    }
+    best
+}
+
+/// Total hyperedge span of an order: the sum over edges of the distance
+/// between the edge's outermost variables. FORCE's objective.
+fn span(order: &[Var], edges: &[&Vec<Var>], n_slots: usize) -> usize {
+    let mut pos = vec![0usize; n_slots];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v.index()] = p;
+    }
+    edges
+        .iter()
+        .map(|edge| {
+            let ps = edge.iter().map(|v| pos[v.index()]);
+            let min = ps.clone().min().unwrap();
+            let max = ps.max().unwrap();
+            max - min
+        })
+        .sum()
+}
+
+/// Connectivity hyperedges of a netlist: one edge per gate, over the
+/// input variables among the gate's direct operands.
+///
+/// Gates fed by other gates contribute the input variables they touch
+/// directly; edges with fewer than two variables are dropped, duplicates
+/// kept (a pair used by many gates pulls proportionally harder).
+pub fn hyperedges_from_netlist(netlist: &Netlist) -> Vec<Vec<Var>> {
+    // node index -> the input variable it denotes, if it is an Input gate
+    let mut var_of: Vec<Option<Var>> = Vec::with_capacity(netlist.len());
+    let mut edges = Vec::new();
+    for (_, gate) in netlist.iter() {
+        let mut edge: Vec<Var> = Vec::new();
+        let push = |edge: &mut Vec<Var>, of: &[Option<Var>], n: pd_netlist::NodeId| {
+            if let Some(v) = of[n.index()] {
+                if !edge.contains(&v) {
+                    edge.push(v);
+                }
+            }
+        };
+        let this_var = match gate {
+            Gate::Const(_) => None,
+            Gate::Input(v) => Some(v),
+            Gate::Not(a) => {
+                push(&mut edge, &var_of, a);
+                None
+            }
+            Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                push(&mut edge, &var_of, a);
+                push(&mut edge, &var_of, b);
+                None
+            }
+            Gate::Mux { sel, lo, hi } => {
+                push(&mut edge, &var_of, sel);
+                push(&mut edge, &var_of, lo);
+                push(&mut edge, &var_of, hi);
+                None
+            }
+            Gate::Maj(a, b, c) => {
+                push(&mut edge, &var_of, a);
+                push(&mut edge, &var_of, b);
+                push(&mut edge, &var_of, c);
+                None
+            }
+        };
+        var_of.push(this_var);
+        if edge.len() >= 2 {
+            edges.push(edge);
+        }
+    }
+    edges
+}
+
+/// Connectivity hyperedges of an ANF specification: one edge per
+/// multi-variable monomial. The natural hypergraph when no netlist is at
+/// hand (spec-side checks).
+pub fn hyperedges_from_anf<'a>(specs: impl IntoIterator<Item = &'a Anf>) -> Vec<Vec<Var>> {
+    let mut edges = Vec::new();
+    for spec in specs {
+        for term in spec.terms() {
+            let vars: Vec<Var> = term.vars().collect();
+            if vars.len() >= 2 {
+                edges.push(vars);
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_pairs_adder_operand_bits() {
+        // Ripple adder gates touch (a_i, b_i) directly: FORCE must keep
+        // each pair adjacent-ish, i.e. total span near the minimum.
+        let width = 8;
+        let mut pool = VarPool::new();
+        let a = pool.input_word("a", 0, width);
+        let b = pool.input_word("b", 1, width);
+        let mut nl = Netlist::new();
+        let mut carry = nl.constant(false);
+        for i in 0..width {
+            let (na, nb) = (nl.input(a[i]), nl.input(b[i]));
+            let (s, c) = nl.full_adder(na, nb, carry);
+            nl.set_output(&format!("s{i}"), s);
+            carry = c;
+        }
+        nl.set_output(&format!("s{width}"), carry);
+        let edges = hyperedges_from_netlist(&nl);
+        assert!(!edges.is_empty());
+        let order = force_order(&pool, &edges, DEFAULT_FORCE_ROUNDS);
+        assert_eq!(order.len(), pool.len(), "order must be total");
+        let pos = |v: Var| order.iter().position(|&q| q == v).unwrap() as i64;
+        for i in 0..width {
+            assert!(
+                (pos(a[i]) - pos(b[i])).unsigned_abs() <= 2,
+                "a{i}/b{i} drifted apart: {} vs {}",
+                pos(a[i]),
+                pos(b[i])
+            );
+        }
+    }
+
+    #[test]
+    fn force_order_is_total_and_deterministic() {
+        let mut pool = VarPool::new();
+        let x = pool.input_word("x", 0, 6);
+        let _lone = pool.input("sel", 1, 0);
+        let edges = vec![vec![x[0], x[5]], vec![x[1], x[4]], vec![x[2], x[3]]];
+        let o1 = force_order(&pool, &edges, 8);
+        let o2 = force_order(&pool, &edges, 8);
+        assert_eq!(o1, o2);
+        assert_eq!(o1.len(), pool.len());
+        let mut seen = o1.clone();
+        seen.sort_by_key(|v| v.index());
+        seen.dedup();
+        assert_eq!(seen.len(), pool.len(), "no variable duplicated or lost");
+    }
+
+    #[test]
+    fn anf_hyperedges_come_from_multivar_monomials() {
+        let mut pool = VarPool::new();
+        let spec = Anf::parse("a*b ^ b*c*d ^ e ^ 1", &mut pool).unwrap();
+        let edges = hyperedges_from_anf([&spec]);
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().any(|e| e.len() == 2));
+        assert!(edges.iter().any(|e| e.len() == 3));
+    }
+
+    #[test]
+    fn no_edges_falls_back_to_interleaved() {
+        let mut pool = VarPool::new();
+        pool.input_word("a", 0, 4);
+        pool.input_word("b", 1, 4);
+        let order = force_order(&pool, &[], 8);
+        assert_eq!(order, interleaved_order(&pool));
+    }
+}

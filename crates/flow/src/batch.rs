@@ -23,8 +23,8 @@ pub struct BatchOutcome {
     /// The summary, or why the flow stopped.
     pub result: Result<FlowSummary, FlowError>,
     /// Whether the circuit was re-run under the safe configuration after
-    /// its first attempt panicked (see [`run_batch`]); `result` then
-    /// describes the retry.
+    /// its first attempt panicked or died of BDD capacity (see
+    /// [`run_batch`]); `result` then describes the retry.
     pub retried: bool,
 }
 
@@ -63,26 +63,34 @@ fn attempt(input: FlowInput, cfg: FlowConfig) -> Result<FlowSummary, FlowError> 
 /// Runs every circuit through a fresh [`Flow`] under a shared
 /// configuration, in parallel, preserving input order. A circuit whose
 /// flow panics — every ladder rung dead, or an unwind escaping the flow
-/// itself — is retried **once** under the safe configuration
-/// (from-scratch Reduce, per-block Factor: the paths with the least
-/// machinery) before its slot reports [`FlowError::Panicked`]. The
-/// naive-kernel switch cannot join the safe config: it is a process-wide
-/// `OnceLock` read from `PD_NAIVE_KERNEL` at first use. Siblings are
-/// unaffected either way.
+/// itself — or dies of BDD capacity is retried **once** under the safe
+/// configuration (from-scratch Reduce, per-block Factor: the paths with
+/// the least machinery; and the oracle's order ladder re-enabled, since
+/// a capacity kill can only have come from `DvoMode::Off`) before its
+/// slot reports the failure. The naive-kernel switch cannot join the
+/// safe config: it is a process-wide `OnceLock` read from
+/// `PD_NAIVE_KERNEL` at first use. Siblings are unaffected either way.
 pub fn run_batch(inputs: Vec<FlowInput>, cfg: &FlowConfig) -> Vec<BatchOutcome> {
     pd_par::par_map_vec(inputs, |input| {
         let name = input.name.clone();
         match attempt(input.clone(), cfg.clone()) {
-            Err(FlowError::Panicked(first)) => {
+            Err(first)
+                if matches!(
+                    first,
+                    FlowError::Panicked(_) | FlowError::Capacity { .. }
+                ) =>
+            {
                 let mut safe = cfg.clone();
                 safe.full_reduce = true;
                 safe.local_factor = true;
+                safe.dvo = pd_bdd::DvoMode::OnCapacity;
                 // The fault plan re-arms for the retry (Flow::new reads
                 // cfg.fault), so an injected panic stays deterministic
                 // across both attempts.
+                let first_msg = first.to_string();
                 let result = attempt(input, safe).map_err(|e| match e {
                     FlowError::Panicked(second) => FlowError::Panicked(format!(
-                        "{first}; safe-config retry also panicked: {second}"
+                        "{first_msg}; safe-config retry also panicked: {second}"
                     )),
                     other => other,
                 });
@@ -193,5 +201,28 @@ mod tests {
             .get("error")
             .and_then(Json::as_str)
             .is_some_and(|e| e.contains("panicked")));
+    }
+
+    #[test]
+    fn capacity_killed_circuit_gets_a_safe_config_retry() {
+        use crate::FaultPlan;
+        use pd_bdd::DvoMode;
+
+        // DvoMode::Off turns the injected oracle starvation into a hard
+        // FlowError::Capacity; the safe-config retry re-enables the order
+        // ladder, so the re-armed fault degrades to `unverified` instead.
+        let cfg = FlowConfig {
+            dvo: DvoMode::Off,
+            fault: Some(FaultPlan::parse("decompose:capacity:1").unwrap()),
+            ..FlowConfig::default()
+        };
+        let outcomes = run_batch(vec![circuit_by_name("maj5").unwrap()], &cfg);
+        assert!(outcomes[0].retried, "capacity now qualifies for the retry");
+        let summary = outcomes[0]
+            .result
+            .as_ref()
+            .expect("the retry's order ladder absorbs the starvation");
+        assert_eq!(summary.stages[0].verified, Some(false));
+        assert!(summary.stages[1..4].iter().all(|s| s.verified == Some(true)));
     }
 }

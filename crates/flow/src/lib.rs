@@ -36,6 +36,18 @@
 //! stages later. Set `PD_SKIP_VERIFY=1` (or [`FlowConfig::verify`] =
 //! `false`) to benchmark the transforms alone.
 //!
+//! The oracle's node table is bounded by [`FlowConfig::node_cap`]
+//! (`PD_NODE_CAP`). A check that overflows it climbs the context's
+//! **order ladder** — retry under a FORCE connectivity pre-order, then
+//! once more with Rudell sifting under a transiently raised cap — before
+//! giving up; the ladder is governed by [`FlowConfig::dvo`] (`PD_DVO`:
+//! `off`, `on-capacity`, `sift`). A boundary that defeats the whole
+//! ladder at a stage's *final* degradation rung no longer aborts the
+//! flow: the stage commits with `verified: false` and an explicit
+//! `unverified` degradation note, because capacity exhaustion means
+//! *undecided*, not wrong. `PD_DVO=off` restores the old hard
+//! [`FlowError::Capacity`] abort.
+//!
 //! ## Example
 //!
 //! ```
@@ -67,7 +79,7 @@ pub mod spec;
 
 use json::Json;
 use pd_anf::{Anf, Var, VarPool};
-use pd_bdd::{CapacityError, ExactMismatch, VerifyContext};
+use pd_bdd::{CapacityError, DvoMode, ExactMismatch, VerifyContext};
 use pd_cells::{map, report_mapped, unmap, AreaDelayReport, CellLibrary, MappedNetlist};
 use pd_core::{refine, Decomposition, PdConfig, ProgressiveDecomposer};
 use pd_factor::{ExtractConfig, FactorNetwork, GlobalConfig, GlobalNetwork};
@@ -181,6 +193,11 @@ pub enum FaultMode {
     /// Synthesise a BDD counterexample at the stage's verify boundary
     /// (exercises mismatch handling without an actual logic bug).
     Mismatch,
+    /// Starve the BDD oracle at the stage's verify boundary: the check
+    /// runs under a tiny node cap so every rung of the order ladder
+    /// overflows deterministically (exercises capacity degradation —
+    /// rung fall-through and the explicit `unverified` verdict).
+    Capacity,
 }
 
 impl FaultMode {
@@ -190,6 +207,7 @@ impl FaultMode {
             FaultMode::Panic => "panic",
             FaultMode::Budget => "budget",
             FaultMode::Mismatch => "mismatch",
+            FaultMode::Capacity => "capacity",
         }
     }
 }
@@ -199,13 +217,16 @@ impl FaultMode {
 /// environment knob.
 ///
 /// `fires` is the number of injection opportunities the fault consumes
-/// before disarming. For `panic`/`mismatch` each rung attempt of the
-/// target stage's degradation ladder is one opportunity, so
+/// before disarming. For `panic`/`mismatch`/`capacity` each rung attempt
+/// of the target stage's degradation ladder is one opportunity, so
 /// `reduce:panic:1` fails the incremental rung and lands on
 /// `worklist-only`, `reduce:panic:2` lands on `full-reduce`, and
 /// `reduce:panic:3` exhausts the ladder into a typed
-/// [`FlowError::Panicked`]. Injection is counted, never timed, so a
-/// faulted run is bit-identical at any `PD_THREADS`.
+/// [`FlowError::Panicked`]. A `capacity` fault that is still armed at a
+/// stage's final rung does not kill the flow: the boundary commits as
+/// explicitly *unverified* (see [`StageReport::verified`]). Injection is
+/// counted, never timed, so a faulted run is bit-identical at any
+/// `PD_THREADS`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Stage at which the fault fires.
@@ -240,9 +261,10 @@ impl FaultPlan {
             Some("panic") => FaultMode::Panic,
             Some("budget") => FaultMode::Budget,
             Some("mismatch") => FaultMode::Mismatch,
+            Some("capacity") => FaultMode::Capacity,
             other => {
                 return Err(format!(
-                    "unknown fault mode {other:?} (known: panic, budget, mismatch)"
+                    "unknown fault mode {other:?} (known: panic, budget, mismatch, capacity)"
                 ))
             }
         };
@@ -286,6 +308,45 @@ fn env_budget(key: &str) -> u64 {
             .parse()
             .unwrap_or_else(|_| panic!("{key} must be a non-negative integer, got {v:?}")),
         Err(_) => u64::MAX,
+    }
+}
+
+/// Node cap the `capacity` fault mode imposes for one starved check:
+/// small enough that even the order ladder's raised final rung (cap ×
+/// [`pd_bdd::verify::CAPACITY_RAISE`] = 16 nodes) cannot hold any real
+/// boundary, so the overflow is deterministic on every circuit.
+const FAULT_NODE_CAP: usize = 4;
+
+/// Reads the `PD_NODE_CAP` oracle-capacity knob; unset means
+/// [`pd_bdd::DEFAULT_NODE_CAP`].
+///
+/// # Panics
+///
+/// Panics on a malformed or zero value — like the budgets, a typo'd cap
+/// silently running uncapped would defeat the knob, so it fails fast.
+fn env_node_cap() -> usize {
+    match std::env::var("PD_NODE_CAP") {
+        Ok(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("PD_NODE_CAP must be a positive integer, got {v:?}")),
+        Err(_) => pd_bdd::DEFAULT_NODE_CAP,
+    }
+}
+
+/// Reads the `PD_DVO` reordering-policy knob; unset means
+/// [`DvoMode::OnCapacity`].
+///
+/// # Panics
+///
+/// Panics on an unknown mode (fail fast, as above).
+fn env_dvo() -> DvoMode {
+    match std::env::var("PD_DVO") {
+        Ok(v) => DvoMode::parse(&v).unwrap_or_else(|| {
+            panic!("PD_DVO must be one of off, on-capacity, sift; got {v:?}")
+        }),
+        Err(_) => DvoMode::OnCapacity,
     }
 }
 
@@ -343,6 +404,18 @@ pub struct FlowConfig {
     /// Deterministic fault to inject (see [`FaultPlan`]). Defaults to
     /// the `PD_FAULT` environment variable, or `None`.
     pub fault: Option<FaultPlan>,
+    /// Node-table capacity of the BDD oracle (allocated nodes; the order
+    /// ladder's final rung may transiently raise it, see
+    /// [`pd_bdd::verify::CAPACITY_RAISE`]). Defaults to the
+    /// `PD_NODE_CAP` environment variable, or
+    /// [`pd_bdd::DEFAULT_NODE_CAP`].
+    pub node_cap: usize,
+    /// When the BDD oracle reorders variables: never ([`DvoMode::Off`] —
+    /// capacity overflow is then a hard [`FlowError::Capacity`]), only to
+    /// recover from overflow ([`DvoMode::OnCapacity`], the default), or
+    /// proactively after every check ([`DvoMode::Sift`]). Defaults to
+    /// the `PD_DVO` environment variable, or on-capacity.
+    pub dvo: DvoMode,
 }
 
 impl Default for FlowConfig {
@@ -363,6 +436,8 @@ impl Default for FlowConfig {
             // A malformed PD_FAULT fails fast: the harness silently not
             // injecting would make every fault test vacuously green.
             fault: FaultPlan::from_env().unwrap_or_else(|e| panic!("PD_FAULT: {e}")),
+            node_cap: env_node_cap(),
+            dvo: env_dvo(),
         }
     }
 }
@@ -378,11 +453,21 @@ pub struct StageReport {
     /// Oracle wall time in milliseconds (0 when skipped).
     pub verify_ms: f64,
     /// `Some(true)` = boundary proved equivalent; `None` = not checked
-    /// (verification off, or a reporting-only stage).
+    /// (verification off, or a reporting-only stage); `Some(false)` =
+    /// the oracle overflowed its node cap on every rung of its order
+    /// ladder at the stage's final degradation rung — the boundary is
+    /// explicitly **unverified** (undecided, not wrong), and
+    /// `degradation_reason` says so.
     ///
-    /// `Some(false)` never escapes [`Flow::run_next`] — a counterexample
-    /// aborts the flow with [`FlowError::Mismatch`] instead.
+    /// A genuine counterexample never shows up here: it aborts the flow
+    /// with [`FlowError::Mismatch`].
     pub verified: Option<bool>,
+    /// Largest node table the oracle reached across the checks run so
+    /// far (cumulative over the shared context; verifying stages only).
+    pub verify_peak_nodes: Option<usize>,
+    /// Variable-order changes (FORCE adoptions + completed sifting
+    /// passes) the oracle performed while checking this boundary.
+    pub verify_reorders: Option<usize>,
     /// Literal count of the stage's representation (hierarchy literals
     /// for the decomposition stages, factored-network literals after
     /// `Factor`).
@@ -439,6 +524,8 @@ impl StageReport {
             wall_ms: 0.0,
             verify_ms: 0.0,
             verified: None,
+            verify_peak_nodes: None,
+            verify_reorders: None,
             literals: None,
             gates: None,
             blocks: None,
@@ -481,6 +568,12 @@ impl StageReport {
                 },
             ),
         ];
+        if let Some(v) = self.verify_peak_nodes {
+            fields.push(("verify_peak_nodes", Json::from(v)));
+        }
+        if let Some(v) = self.verify_reorders {
+            fields.push(("verify_reorders", Json::from(v)));
+        }
         if let Some(v) = self.literals {
             fields.push(("literals", Json::from(v)));
         }
@@ -545,8 +638,13 @@ pub enum FlowError {
         /// The differing output and a distinguishing assignment.
         mismatch: ExactMismatch,
     },
-    /// The oracle's BDDs exceeded the node cap (the boundary is
-    /// *undecided*, not wrong).
+    /// The oracle's BDDs exceeded the node cap on every rung of the
+    /// order ladder (the boundary is *undecided*, not wrong). With
+    /// reordering enabled (the default), a flow no longer aborts with
+    /// this: capacity at a non-final degradation rung fails that rung
+    /// (the cheaper rungs below get their chance), and at the final rung
+    /// the stage commits as explicitly unverified instead. Only
+    /// [`DvoMode::Off`] restores the hard abort.
     Capacity {
         /// Stage whose verification overflowed.
         stage: StageKind,
@@ -659,6 +757,11 @@ pub struct Flow {
     /// Whether the armed fault fired during the stage currently running
     /// (reset by [`Flow::run_next`]; used to detect inert faults).
     fault_fired: bool,
+    /// Whether the rung currently executing is the last of its stage's
+    /// degradation ladder (set by [`Flow::run_ladder`]); capacity at the
+    /// final rung degrades to `unverified` instead of failing the rung,
+    /// because there is nothing cheaper left to fall through to.
+    on_final_rung: bool,
 }
 
 impl Flow {
@@ -680,6 +783,7 @@ impl Flow {
             next: 0,
             fault_remaining,
             fault_fired: false,
+            on_final_rung: false,
         }
     }
 
@@ -823,7 +927,9 @@ impl Flow {
     ) -> Result<StageReport, FlowError> {
         let mut failures: Vec<String> = Vec::new();
         let mut last: Option<FlowError> = None;
+        let total = rungs.len();
         for (i, (name, body)) in rungs.into_iter().enumerate() {
+            self.on_final_rung = i + 1 == total;
             // Rungs only mutate flow state after their boundary verifies,
             // so a caught unwind leaves the previous stage's state intact
             // and the next rung starts clean.
@@ -879,6 +985,15 @@ impl Flow {
 
     /// Verifies `new` against the previous snapshot (or the ANF spec when
     /// there is none yet), timing the check into `report`.
+    ///
+    /// A [`CapacityError`] here means the oracle's whole order ladder
+    /// overflowed. On a non-final degradation rung it fails the rung —
+    /// the cheaper machinery below may produce a boundary that fits. On
+    /// the final rung, with nothing left to fall through to, the stage
+    /// commits with `verified: Some(false)` and an explicit degradation
+    /// note instead of killing an otherwise sound flow.
+    /// [`DvoMode::Off`] opts out of the leniency: capacity is then
+    /// always the hard [`FlowError::Capacity`].
     fn verify_boundary(
         &mut self,
         report: &mut StageReport,
@@ -901,22 +1016,58 @@ impl Flow {
         if !self.cfg.verify {
             return Ok(());
         }
+        // The `capacity` fault mode starves the oracle instead: this one
+        // check runs under a tiny node cap (restored afterwards), so
+        // every rung of the order ladder overflows deterministically.
+        // Placed after the verify gate — with the oracle off there is no
+        // injection point and the fault is reported inert.
+        let starve = self.fault_armed(report.stage, FaultMode::Capacity);
+        if starve {
+            self.fault_remaining -= 1;
+            self.fault_fired = true;
+        }
         let t = std::time::Instant::now();
-        let ctx = self
-            .verifier
-            .get_or_insert_with(|| VerifyContext::new(&self.input_pool));
+        let (node_cap, dvo) = (self.cfg.node_cap, self.cfg.dvo);
+        // A starved check must also re-seed the context: structure the
+        // shared manager already holds would absorb the check as pure
+        // node-table hits (zero allocations), and a cap only limits
+        // allocation. Later boundaries simply rebuild their tables.
+        if starve || self.verifier.is_none() {
+            let mut ctx = VerifyContext::new(&self.input_pool);
+            ctx.set_node_cap(node_cap);
+            ctx.set_dvo(dvo);
+            self.verifier = Some(ctx);
+        }
+        let ctx = self.verifier.as_mut().expect("seeded above");
+        if starve {
+            ctx.set_node_cap(FAULT_NODE_CAP);
+        }
         let stage = report.stage;
+        let reorders_before = ctx.reorders();
         let outcome = match &self.netlist {
             Some(prev) => ctx.check_netlists(prev, new),
             None => ctx.check_netlist_vs_anf(new, &self.spec),
         };
+        if starve {
+            ctx.set_node_cap(node_cap);
+        }
         report.verify_ms = t.elapsed().as_secs_f64() * 1e3;
+        report.verify_peak_nodes = Some(ctx.peak_nodes());
+        report.verify_reorders = Some(ctx.reorders() - reorders_before);
         match outcome {
             Ok(None) => {
                 report.verified = Some(true);
                 Ok(())
             }
             Ok(Some(mismatch)) => Err(FlowError::Mismatch { stage, mismatch }),
+            Err(error) if self.on_final_rung && self.cfg.dvo != DvoMode::Off => {
+                report.verified = Some(false);
+                report.note_degradation(format!(
+                    "boundary unverified: {error} (order ladder exhausted; \
+                     raise PD_NODE_CAP to decide it)"
+                ));
+                Ok(())
+            }
             Err(error) => Err(FlowError::Capacity { stage, error }),
         }
     }
@@ -1388,5 +1539,121 @@ mod tests {
         let ctx = flow.verifier.as_ref().expect("verification ran");
         // Four transforming stages, one shared context.
         assert_eq!(ctx.checks_run(), 4);
+    }
+
+    #[test]
+    fn reports_carry_oracle_node_and_reorder_counters() {
+        let mut flow = flow_for(&["a ^ b ^ cin", "a*b ^ b*cin ^ cin*a"]);
+        let summary = flow.run_to_completion().unwrap();
+        for s in &summary.stages[..4] {
+            assert!(
+                s.verify_peak_nodes.unwrap() > 0,
+                "{:?} records the oracle's peak",
+                s.stage
+            );
+            assert_eq!(
+                s.verify_reorders,
+                Some(0),
+                "a well-ordered full adder needs no reordering"
+            );
+        }
+        assert!(summary.stages[4].verify_peak_nodes.is_none(), "STA checks nothing");
+    }
+
+    fn faulted_cfg(fault: &str) -> FlowConfig {
+        FlowConfig {
+            fault: Some(FaultPlan::parse(fault).unwrap()),
+            ..FlowConfig::default()
+        }
+    }
+
+    #[test]
+    fn capacity_fault_at_a_single_rung_stage_degrades_to_unverified() {
+        let mut pool = VarPool::new();
+        let e = Anf::parse("a ^ b ^ c ^ d ^ e ^ f ^ g ^ h", &mut pool).unwrap();
+        let mut flow = Flow::new(
+            FlowInput::new("starved", pool, vec![("y".into(), e)]),
+            faulted_cfg("decompose:capacity:1"),
+        );
+        let summary = flow
+            .run_to_completion()
+            .expect("capacity at the final rung must not kill the flow");
+        let dec = &summary.stages[0];
+        assert_eq!(dec.verified, Some(false), "boundary is explicitly unverified");
+        assert!(
+            dec.degradation_reason.as_deref().unwrap().contains("unverified"),
+            "{:?}",
+            dec.degradation_reason
+        );
+        assert!(dec.degraded.is_none(), "the rung itself succeeded");
+        // The starved cap is restored: every later boundary proves green.
+        for s in &summary.stages[1..4] {
+            assert_eq!(s.verified, Some(true), "{:?}", s.stage);
+        }
+        let json = dec.to_json();
+        assert_eq!(json.get("verified").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn capacity_fault_mid_ladder_falls_through_to_the_next_rung() {
+        // Eight variables: even the ladder's raised final rung (4 × the
+        // starved cap = 16 nodes) cannot hold this boundary, so the
+        // injected starvation reliably fails the whole check.
+        let mut pool = VarPool::new();
+        let e = Anf::parse("a ^ b ^ c ^ d ^ e ^ f ^ g ^ h", &mut pool).unwrap();
+        let mut flow = Flow::new(
+            FlowInput::new("starved", pool, vec![("y".into(), e)]),
+            faulted_cfg("reduce:capacity:1"),
+        );
+        let summary = flow.run_to_completion().unwrap();
+        let red = &summary.stages[1];
+        assert_eq!(
+            red.degraded.as_deref(),
+            Some("worklist-only"),
+            "capacity failed the incremental rung, the next rung verified"
+        );
+        assert_eq!(red.verified, Some(true));
+        assert!(red
+            .degradation_reason
+            .as_deref()
+            .unwrap()
+            .contains("verification overflowed"));
+    }
+
+    #[test]
+    fn dvo_off_keeps_capacity_as_a_hard_error() {
+        let mut pool = VarPool::new();
+        let e = Anf::parse("a*b ^ b*c ^ c*a ^ d", &mut pool).unwrap();
+        let mut cfg = faulted_cfg("decompose:capacity:1");
+        cfg.dvo = DvoMode::Off;
+        let mut flow = Flow::new(
+            FlowInput::new("starved", pool, vec![("y".into(), e)]),
+            cfg,
+        );
+        let err = flow.run_to_completion().unwrap_err();
+        assert!(
+            matches!(err, FlowError::Capacity { stage: StageKind::Decompose, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn capacity_fault_is_inert_when_verification_is_off() {
+        let mut pool = VarPool::new();
+        let e = Anf::parse("a*b ^ c", &mut pool).unwrap();
+        let mut cfg = faulted_cfg("factor:capacity:1");
+        cfg.verify = false;
+        let mut flow = Flow::new(
+            FlowInput::new("starved", pool, vec![("y".into(), e)]),
+            cfg,
+        );
+        let summary = flow.run_to_completion().unwrap();
+        let fac = &summary.stages[2];
+        assert!(fac.verified.is_none());
+        assert!(
+            fac.degradation_reason.as_deref().unwrap().contains("inert"),
+            "{:?}",
+            fac.degradation_reason
+        );
     }
 }

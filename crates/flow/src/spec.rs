@@ -16,6 +16,8 @@
 //!   "budget_decompose": 100000,
 //!   "budget_reduce": 100000,
 //!   "budget_factor": 100000,
+//!   "node_cap": 1000000,
+//!   "dvo": "on-capacity",
 //!   "fault": "reduce:panic:1",
 //!   "out": "FLOW_STATS.json"
 //! }
@@ -25,7 +27,9 @@
 //! divisor candidates — deterministic counters, not wall-clock); `fault`
 //! arms the deterministic fault-injection harness with the same
 //! `<stage>:<mode>[:<count>]` syntax as the `PD_FAULT` environment
-//! variable.
+//! variable. `node_cap` bounds the BDD oracle's node table
+//! (`PD_NODE_CAP`), and `dvo` picks its reordering policy — `"off"`,
+//! `"on-capacity"`, or `"sift"` (`PD_DVO`).
 //!
 //! Circuit entries are resolved by [`circuit_by_name`]: a generator name
 //! with a width suffix (`maj15`, `adder8`, …) instantiates the matching
@@ -338,6 +342,21 @@ impl FlowSpec {
                     spec.config.fault =
                         Some(FaultPlan::parse(text).map_err(|e| format!("key \"fault\": {e}"))?);
                 }
+                "node_cap" => {
+                    let n = unsigned(value, key)?;
+                    if n == 0 {
+                        return Err("node_cap must be positive".into());
+                    }
+                    spec.config.node_cap = n;
+                }
+                "dvo" => {
+                    let text = value
+                        .as_str()
+                        .ok_or("key \"dvo\" must be a string: off, on-capacity, or sift")?;
+                    spec.config.dvo = pd_bdd::DvoMode::parse(text).ok_or_else(|| {
+                        format!("key \"dvo\": unknown mode {text:?} (known: off, on-capacity, sift)")
+                    })?;
+                }
                 "factor_max_support" => {
                     spec.config.factor_max_support = unsigned(value, key)?;
                 }
@@ -487,6 +506,29 @@ mod tests {
         assert!(FlowSpec::parse(r#"{"circuits": ["maj7"], "fault": "warp:panic"}"#).is_err());
         assert!(FlowSpec::parse(r#"{"circuits": ["maj7"], "fault": "reduce:panic:0"}"#).is_err());
         assert!(FlowSpec::parse(r#"{"circuits": ["maj7"], "budget_reduce": -1}"#).is_err());
+    }
+
+    #[test]
+    fn spec_parses_oracle_capacity_and_dvo_keys() {
+        use pd_bdd::DvoMode;
+        let spec = FlowSpec::parse(
+            r#"{"circuits": ["maj7"], "node_cap": 4096, "dvo": "sift"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.config.node_cap, 4096);
+        assert_eq!(spec.config.dvo, DvoMode::Sift);
+        let unset = FlowSpec::parse(r#"{"circuits": ["maj7"]}"#).unwrap();
+        assert_eq!(unset.config.node_cap, pd_bdd::DEFAULT_NODE_CAP);
+        assert_eq!(unset.config.dvo, DvoMode::OnCapacity);
+        for doc in [
+            r#"{"circuits": ["maj7"], "node_cap": 0}"#,
+            r#"{"circuits": ["maj7"], "node_cap": -5}"#,
+            r#"{"circuits": ["maj7"], "node_cap": 2.5}"#,
+            r#"{"circuits": ["maj7"], "dvo": "warp"}"#,
+            r#"{"circuits": ["maj7"], "dvo": 3}"#,
+        ] {
+            assert!(FlowSpec::parse(doc).is_err(), "{doc}");
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@ enum Expect {
     /// the given substring in `degradation_reason` (budget exhaustion,
     /// or an inert fault that found no injection point).
     Noted(&'static str, &'static str),
+    /// Exit 0; the named stage committed with `"verified": false` and an
+    /// explicit `unverified` degradation note (oracle capacity exhausted
+    /// at the stage's final rung); every other boundary stayed green.
+    Unverified(&'static str),
     /// Exit 1 (a *typed* failure, not a signal); the slot's `error`
     /// contains the substring.
     Failed(&'static str),
@@ -40,6 +44,8 @@ fn run_faulted(dir: &std::path::Path, fault: &str) -> (Option<i32>, Json) {
         .env_remove("PD_BUDGET_DECOMPOSE")
         .env_remove("PD_BUDGET_REDUCE")
         .env_remove("PD_BUDGET_FACTOR")
+        .env_remove("PD_NODE_CAP")
+        .env_remove("PD_DVO")
         .env("PD_FAULT", fault);
     let out = cmd.output().expect("spawn pd flow");
     let doc = std::fs::read_to_string(&out_path)
@@ -113,6 +119,15 @@ fn every_fault_mode_on_every_stage_degrades_or_fails_typed() {
         ("factor:mismatch:1", Degraded("factor", "local")),
         ("techmap:mismatch:1", Degraded("techmap", "greedy")),
         ("sta:mismatch:1", Noted("sta", "inert")),
+        // Capacity faults starve the oracle (a tiny node cap defeats its
+        // whole order ladder). Mid-ladder that fails the rung like any
+        // other error; at a stage's *final* rung the boundary commits as
+        // explicitly unverified instead of killing the flow.
+        ("decompose:capacity:1", Unverified("decompose")),
+        ("reduce:capacity:1", Degraded("reduce", "worklist-only")),
+        ("factor:capacity:2", Degraded("factor", "skip")),
+        ("techmap:capacity:2", Unverified("techmap")),
+        ("sta:capacity:1", Noted("sta", "inert")),
     ];
 
     for (fault, expect) in matrix {
@@ -146,6 +161,33 @@ fn every_fault_mode_on_every_stage_degrades_or_fails_typed() {
                     "fault {fault}: reason {reason:?} lacks {substr:?}"
                 );
                 assert_boundaries_green(c, fault);
+            }
+            Unverified(stage_name) => {
+                assert_eq!(code, Some(0), "fault {fault}: flow should complete");
+                let s = stage(c, stage_name);
+                assert_eq!(
+                    s.get("verified").and_then(Json::as_bool),
+                    Some(false),
+                    "fault {fault}: boundary should be explicitly unverified"
+                );
+                let reason = s
+                    .get("degradation_reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("fault {fault}: no recorded reason"));
+                assert!(
+                    reason.contains("unverified"),
+                    "fault {fault}: reason {reason:?} lacks \"unverified\""
+                );
+                for other in c.get("stages").and_then(Json::as_arr).expect("stages") {
+                    if other.get("stage").and_then(Json::as_str) == Some(*stage_name) {
+                        continue;
+                    }
+                    assert_ne!(
+                        other.get("verified").and_then(Json::as_bool),
+                        Some(false),
+                        "fault {fault}: a sibling boundary went red"
+                    );
+                }
             }
             Failed(substr) => {
                 assert_eq!(code, Some(1), "fault {fault}: expected typed failure");
@@ -183,6 +225,8 @@ fn degraded_reduce_stays_green_on_all_builtin_circuits() {
         .env_remove("PD_BUDGET_DECOMPOSE")
         .env_remove("PD_BUDGET_REDUCE")
         .env_remove("PD_BUDGET_FACTOR")
+        .env_remove("PD_NODE_CAP")
+        .env_remove("PD_DVO")
         .env("PD_FAULT", "reduce:panic:1")
         .output()
         .expect("spawn pd flow all");
@@ -232,6 +276,8 @@ fn budget_crossings_are_deterministic_across_thread_counts() {
             .env_remove("PD_FAULT")
             .env_remove("PD_BUDGET_DECOMPOSE")
             .env_remove("PD_BUDGET_FACTOR")
+            .env_remove("PD_NODE_CAP")
+            .env_remove("PD_DVO")
             .env("PD_BUDGET_REDUCE", "3")
             .env("PD_THREADS", threads)
             .output()
