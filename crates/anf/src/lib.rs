@@ -66,6 +66,7 @@ mod truth;
 mod var;
 mod varset;
 
+pub mod canon;
 pub mod gf2;
 pub mod nullspace;
 

@@ -181,6 +181,27 @@ impl VarPool {
         }
     }
 
+    /// Rebuilds a pool from `(name, kind)` pairs in allocation order — the
+    /// inverse of walking [`VarPool::iter`] with [`VarPool::name`] and
+    /// [`VarPool::kind`]. Snapshot rehydration (the flow's stage cache)
+    /// depends on indices coming back identical, which holds because
+    /// allocation order *is* index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two entries share a name.
+    pub fn from_parts(entries: Vec<(String, VarKind)>) -> Self {
+        let mut pool = Self::new();
+        for (name, kind) in entries {
+            assert!(
+                !pool.by_name.contains_key(&name),
+                "duplicate variable name {name:?} in pool snapshot"
+            );
+            pool.alloc(name, kind);
+        }
+        pool
+    }
+
     /// Looks up a variable by name.
     pub fn find(&self, name: &str) -> Option<Var> {
         self.by_name.get(name).copied()

@@ -20,6 +20,14 @@
 //! path), each with its literal count *and mapped cell count*, so the
 //! cross-block sharing's QoR effect is recorded next to its cost.
 //!
+//! The content-addressed stage cache is A/B-tracked as
+//! `flow/<circuit>/total-cold` (empty `PD_CACHE_DIR`-style store, every
+//! stage computed and BDD-verified) versus `total-warm` (identical
+//! re-run, every stage served from the store with its verify verdict
+//! carried forward). These two run with the oracle **on** — the warm
+//! path's whole point is skipping re-verification — so the pair records
+//! the end-to-end re-run saving the cache buys.
+//!
 //! The Reduce stage's two implementations are A/B-tracked directly:
 //! `flow/<circuit>/reduce-incremental` times `pd_core::refine` applied to
 //! a prebuilt stage-1 hierarchy (the default in-place worklist path), and
@@ -169,6 +177,7 @@ pub fn run(opts: &RuntimeOptions) -> Vec<Measurement> {
         });
     }
     out.extend(flow_cases(opts));
+    out.extend(cache_ab_cases(opts));
     out.extend(factor_ab_cases(opts));
     out.extend(reduce_ab_cases(opts));
     out.extend(verify_ab_cases(opts));
@@ -247,6 +256,76 @@ fn flow_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
             peak_nodes: None,
             live_nodes: None,
         });
+    }
+    out
+}
+
+/// A/B comparison of cold versus warm runs through the content-addressed
+/// stage cache (see the module docs). Cold repetitions clear the store
+/// first, so every stage computes and verifies; warm repetitions re-run
+/// the identical config against the populated store, so every stage is
+/// served. Both directions time the *whole* flow, oracle on.
+fn cache_ab_cases(opts: &RuntimeOptions) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let reps = opts.reps.max(1);
+    for circuit in FLOW_CIRCUITS {
+        let input = circuit_by_name(circuit).expect("bench circuits resolve");
+        let dir = std::env::temp_dir().join(format!(
+            "pd-bench-cache-{}-{circuit}",
+            std::process::id()
+        ));
+        let cfg = FlowConfig {
+            cache_dir: Some(dir.clone()),
+            divisor_library: None,
+            ..FlowConfig::default()
+        };
+        let run_once = || {
+            let mut flow = Flow::new(input.clone(), cfg.clone());
+            flow.run_to_completion().expect("bench circuits flow clean");
+            flow.reports().to_vec()
+        };
+        let median_min = |mut s: Vec<f64>| {
+            s.sort_by(f64::total_cmp);
+            (s[s.len() / 2], s[0])
+        };
+        let mut cold: Vec<f64> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let _ = std::fs::remove_dir_all(&dir);
+            let t = Instant::now();
+            run_once();
+            cold.push(ms(t.elapsed()));
+        }
+        let mut warm: Vec<f64> = Vec::with_capacity(reps);
+        let mut last_reports = Vec::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            last_reports = run_once();
+            warm.push(ms(t.elapsed()));
+        }
+        debug_assert!(
+            last_reports
+                .iter()
+                .all(|r| r.cache.as_deref() == Some("hit")),
+            "{circuit}: warm repetition was not fully served from cache"
+        );
+        for (suffix, samples) in [("cold", cold), ("warm", warm)] {
+            let (median, min) = median_min(samples);
+            out.push(Measurement {
+                name: format!("flow/{circuit}/total-{suffix}"),
+                median_ms: median,
+                min_ms: min,
+                reps,
+                literals_before: None,
+                literals_after: last_reports.iter().rev().find_map(|r| r.literals),
+                blocks: None,
+                cells: last_reports.iter().rev().find_map(|r| r.cells),
+                area_um2: last_reports.iter().rev().find_map(|r| r.area_um2),
+                delay_ns: last_reports.iter().rev().find_map(|r| r.delay_ns),
+                peak_nodes: None,
+                live_nodes: None,
+            });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
     out
 }
@@ -662,6 +741,24 @@ mod tests {
                 .expect("total entry");
             assert!(total.area_um2.unwrap_or(0.0) > 0.0);
             assert!(total.delay_ns.unwrap_or(0.0) > 0.0);
+            // The stage-cache A/B: a warm (fully served) re-run must be
+            // decisively faster than the cold verified one.
+            let ab = |suffix: &str| {
+                let name = format!("flow/{circuit}/total-{suffix}");
+                results
+                    .iter()
+                    .find(|m| m.name == name)
+                    .unwrap_or_else(|| panic!("{name} missing"))
+            };
+            let (cold, warm) = (ab("cold"), ab("warm"));
+            assert_eq!(cold.cells, warm.cells, "{circuit}: cold/warm cells drifted");
+            assert!(
+                warm.median_ms * 2.0 < cold.median_ms,
+                "{circuit}: warm re-run should be far faster than cold \
+                 ({} ms vs {} ms)",
+                warm.median_ms,
+                cold.median_ms
+            );
         }
         // The oracle-order A/B: sifting must strictly shrink the live
         // diagram on every tracked circuit — this is the artefact side

@@ -1,0 +1,263 @@
+//! # pd-cache — capped in-memory caches and a content-addressed disk store
+//!
+//! One home for every cache policy in the workspace, so eviction and
+//! accounting are implemented once:
+//!
+//! * [`MemCache`] — a process-wide, thread-safe, capacity-capped map
+//!   with hit/miss counters. The eviction policy is *clear-on-full*:
+//!   when an insert would exceed the cap the whole map is dropped. That
+//!   is deliberately the policy PR 6's arbitration cache shipped with —
+//!   entries are expensive to compute but cheap to lose, keys arrive in
+//!   bursts per spec, and LRU bookkeeping would cost more than the rare
+//!   refill — and now `pd_core::refine` borrows it from here instead of
+//!   hand-rolling it.
+//! * [`DiskStore`] — a content-addressed artifact directory (the flow's
+//!   `PD_CACHE_DIR`). Artifacts are immutable once written — the key is
+//!   a hash of everything that determines the value — so there is no
+//!   eviction or invalidation: a stale entry is simply never addressed
+//!   again. Writes go through a temp file and an atomic rename, so a
+//!   crashed or concurrent writer can never leave a torn artifact where
+//!   a reader will find it.
+//!
+//! The crate is std-only and dependency-free so every layer (core,
+//! factor, flow) can use it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters, snapshotted by [`MemCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+/// A thread-safe map capped at `cap` entries, cleared wholesale when an
+/// insert would overflow (see the crate docs for why), with cumulative
+/// hit/miss counters.
+///
+/// # Examples
+///
+/// ```
+/// use pd_cache::MemCache;
+/// let cache: MemCache<u32, String> = MemCache::new(2);
+/// assert_eq!(cache.get(&1), None);
+/// cache.insert(1, "one".into());
+/// assert_eq!(cache.get(&1).as_deref(), Some("one"));
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct MemCache<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> MemCache<K, V> {
+    /// Creates an empty cache holding at most `cap` entries (`cap` is
+    /// clamped to at least 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, cloning the value out and counting the outcome.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`. If the map is full and `key` is new, the
+    /// whole map is cleared first (clear-on-full; see crate docs).
+    pub fn insert(&self, key: K, value: V) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if map.len() >= self.cap && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, value);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Returns `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cumulative hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Returns `true` if `key` is safe to use as a file name in the store:
+/// non-empty, and only lowercase hex, digits, `.`, `_`, `-`. Content
+/// hashes (`pd_anf::canon`) always qualify; anything else is rejected
+/// before it can traverse out of the store directory.
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || matches!(c, '.' | '_' | '-'))
+}
+
+/// A content-addressed artifact directory.
+///
+/// Keys name immutable artifacts; [`DiskStore::store`] is atomic
+/// (temp file + rename) and last-writer-wins, which is sound because
+/// every writer addressing the same key writes the same bytes.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn checked_path(&self, key: &str) -> io::Result<PathBuf> {
+        if !valid_key(key) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid artifact key {key:?}"),
+            ));
+        }
+        Ok(self.root.join(key))
+    }
+
+    /// Returns the artifact stored under `key`, or `None` if absent.
+    pub fn load(&self, key: &str) -> io::Result<Option<String>> {
+        let path = self.checked_path(key)?;
+        match std::fs::read_to_string(&path) {
+            Ok(contents) => Ok(Some(contents)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes `contents` under `key` atomically: a unique temp file in
+    /// the same directory, then a rename over the final name.
+    pub fn store(&self, key: &str, contents: &str) -> io::Result<()> {
+        use std::sync::atomic::AtomicU64 as Counter;
+        static SEQ: Counter = Counter::new(0);
+        let path = self.checked_path(key)?;
+        let tmp = self.root.join(format!(
+            ".tmp.{}.{}.{key}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, contents)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns `true` if an artifact exists under `key`.
+    pub fn contains(&self, key: &str) -> io::Result<bool> {
+        Ok(self.checked_path(key)?.exists())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pd-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn mem_cache_counts_and_clears_on_full() {
+        let cache: MemCache<u32, u32> = MemCache::new(2);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.len(), 2);
+        // Third distinct key overflows the cap: clear-on-full drops both.
+        cache.insert(3, 30);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.get(&3), Some(30));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+        // Re-inserting an existing key never clears.
+        cache.insert(3, 31);
+        assert_eq!(cache.get(&3), Some(31));
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_rejects_bad_keys() {
+        let store = DiskStore::open(scratch_dir("roundtrip")).unwrap();
+        assert_eq!(store.load("abc123").unwrap(), None);
+        store.store("abc123", "{\"x\": 1}\n").unwrap();
+        assert_eq!(store.load("abc123").unwrap().as_deref(), Some("{\"x\": 1}\n"));
+        assert!(store.contains("abc123").unwrap());
+        for bad in ["", "../escape", "UPPER", "a/b", "a b"] {
+            assert!(store.load(bad).is_err(), "key {bad:?} must be rejected");
+            assert!(store.store(bad, "x").is_err());
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn disk_store_overwrite_is_atomic_and_idempotent() {
+        let store = DiskStore::open(scratch_dir("atomic")).unwrap();
+        store.store("k", "first").unwrap();
+        store.store("k", "first").unwrap();
+        assert_eq!(store.load("k").unwrap().as_deref(), Some("first"));
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(store.root())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

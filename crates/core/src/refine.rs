@@ -83,11 +83,12 @@ use crate::lindep;
 use crate::pairs::{Pair, PairList};
 use crate::size_reduce;
 use pd_anf::{Anf, Monomial, NullSpace, Var, VarSet};
-use pd_factor::DivisorTable;
+use pd_cache::MemCache;
+use pd_factor::{DivisorLibrary, DivisorTable};
 use pd_par::EffortMeter;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// What one [`refine`] run did.
 #[derive(Clone, Copy, Debug, Default)]
@@ -121,6 +122,14 @@ pub struct RefineStats {
     /// Whether the arbitration decomposition came from the process-wide
     /// spec-keyed cache instead of being recomputed.
     pub arbitration_cached: bool,
+    /// Cumulative process-wide arbitration-cache hits at the end of this
+    /// run (the cache is shared; in a server these counters span jobs).
+    pub arbitration_cache_hits: u64,
+    /// Cumulative process-wide arbitration-cache misses, as above.
+    pub arbitration_cache_misses: u64,
+    /// Leaders of the refined hierarchy whose expression is recorded in
+    /// the persistent divisor library (0 when refining without one).
+    pub library_leaders: usize,
     /// Trials charged against the effort meter across the close rounds
     /// and the arbitration decomposition.
     pub effort_spent: u64,
@@ -177,6 +186,40 @@ struct Patch {
 pub fn refine(d: &mut Decomposition, cfg: &PdConfig) -> RefineStats {
     let mut meter = EffortMeter::with_budget(cfg.effort_budget);
     refine_metered(d, cfg, &mut meter)
+}
+
+/// [`refine`] against a persistent divisor library (see
+/// `pd_factor::library`). The library never alters refinement decisions
+/// — determinism across cache states is sacrosanct here — it is the
+/// *exchange point* of the cross-run loop: leaders the refined hierarchy
+/// settles on are recorded as learned divisors (inputs-only expressions
+/// survive into other circuits' pools), and
+/// [`RefineStats::library_leaders`] reports how many of this hierarchy's
+/// leaders the library already knew. The behavioural half of seeding
+/// lives in `GlobalNetwork::extract_seeded`, where proposals are safe
+/// because every commit is re-priced.
+pub fn refine_with_library(
+    d: &mut Decomposition,
+    cfg: &PdConfig,
+    library: Option<&DivisorLibrary>,
+) -> RefineStats {
+    let mut stats = refine(d, cfg);
+    if let Some(lib) = library {
+        let leaders: Vec<&Anf> = d
+            .blocks
+            .iter()
+            .flat_map(|b| b.basis.iter().map(|(_, e)| e))
+            .collect();
+        stats.library_leaders = leaders
+            .iter()
+            .filter(|e| {
+                pd_factor::library::render_expr(&d.pool, e)
+                    .is_some_and(|text| lib.uses(&text).is_some())
+            })
+            .count();
+        pd_factor::library::record_learned(&d.pool, leaders.into_iter().map(|e| (e, 0)));
+    }
+    stats
 }
 
 /// [`refine`] charging an external [`EffortMeter`].
@@ -329,6 +372,9 @@ pub fn refine_metered(
             } else {
                 let (alt, alt_gates, cached) = arbitration_decomposition(d, cfg, meter);
                 stats.arbitration_cached = cached;
+                let cache_stats = arbitration_cache_stats();
+                stats.arbitration_cache_hits = cache_stats.hits;
+                stats.arbitration_cache_misses = cache_stats.misses;
                 if alt_gates < gates_now {
                     *d = alt;
                     stats.arbitrated = true;
@@ -361,7 +407,7 @@ pub fn refine_metered(
 /// refinement ends with — two refine calls reaching different pool
 /// states must not share an entry, or results would depend on cache
 /// warmth.
-#[derive(PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 struct ArbitrationKey {
     /// Output names with per-output term counts and a term hash.
     spec: Vec<(String, usize, u64)>,
@@ -374,19 +420,24 @@ struct ArbitrationKey {
 
 /// Process-wide cache of arbitration re-decompositions, keyed by spec +
 /// config + pool state (see [`ArbitrationKey`]). Repeated synthesis of
-/// the same specification — benchmark repetitions today, the service
-/// cache the ROADMAP plans tomorrow — pays the from-scratch close once.
-/// Entries are exact clones of a deterministic computation, so a hit
-/// returns bit-identical results to a fresh run.
-fn arbitration_cache() -> &'static Mutex<HashMap<ArbitrationKey, (Decomposition, usize)>> {
-    static CACHE: OnceLock<Mutex<HashMap<ArbitrationKey, (Decomposition, usize)>>> =
-        OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// the same specification — benchmark repetitions, and `pd serve` jobs
+/// resubmitting a spec — pays the from-scratch close once. Entries are
+/// exact clones of a deterministic computation, so a hit returns
+/// bit-identical results to a fresh run. The capped map, its
+/// clear-on-full eviction, and the hit/miss counters all come from
+/// [`pd_cache::MemCache`] — one cache policy for the workspace.
+fn arbitration_cache() -> &'static MemCache<ArbitrationKey, (Decomposition, usize)> {
+    static CACHE: OnceLock<MemCache<ArbitrationKey, (Decomposition, usize)>> = OnceLock::new();
+    CACHE.get_or_init(|| MemCache::new(ARBITRATION_CACHE_CAP))
 }
 
-/// Bound on cached arbitration decompositions; the map is cleared when
-/// full (simplest eviction that keeps memory bounded).
+/// Bound on cached arbitration decompositions.
 const ARBITRATION_CACHE_CAP: usize = 32;
+
+/// Cumulative hit/miss counters of the process-wide arbitration cache.
+pub fn arbitration_cache_stats() -> pd_cache::CacheStats {
+    arbitration_cache().stats()
+}
 
 /// The from-scratch refined re-decomposition the arbitration close
 /// compares against, with its gate estimate, served from the process
@@ -419,10 +470,8 @@ fn arbitration_decomposition(
             h.finish()
         },
     };
-    if let Ok(cache) = arbitration_cache().lock() {
-        if let Some((alt, gates)) = cache.get(&key) {
-            return (alt.clone(), *gates, true);
-        }
+    if let Some((alt, gates)) = arbitration_cache().get(&key) {
+        return (alt, gates, true);
     }
     let alt = ProgressiveDecomposer::new(cfg.clone()).decompose_metered(
         d.pool.clone(),
@@ -430,12 +479,7 @@ fn arbitration_decomposition(
         meter,
     );
     let gates = gate_estimate(&alt);
-    if let Ok(mut cache) = arbitration_cache().lock() {
-        if cache.len() >= ARBITRATION_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(key, (alt.clone(), gates));
-    }
+    arbitration_cache().insert(key, (alt.clone(), gates));
     (alt, gates, false)
 }
 

@@ -52,6 +52,7 @@ mod kernel;
 mod network;
 
 pub mod divide;
+pub mod library;
 pub mod minimize;
 
 pub use cover::{Cover, Cube, Lit};
@@ -59,5 +60,6 @@ pub use divide::{anf_divide, divide, divide_cube, recompose};
 pub use factor::{quick_factor, FactorTree};
 pub use global::{canonical_terms, DivisorEntry, DivisorTable, GlobalConfig, GlobalNetwork, GlobalStats};
 pub use kernel::{kernels, kernels_capped, KernelPair};
+pub use library::DivisorLibrary;
 pub use minimize::{minimize_cover, minimum_cover, prime_implicants, Implicant};
 pub use network::{factor_and_synthesize, ExtractConfig, ExtractStats, FactorNetwork};

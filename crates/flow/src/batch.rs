@@ -60,53 +60,62 @@ fn attempt(input: FlowInput, cfg: FlowConfig) -> Result<FlowSummary, FlowError> 
     .unwrap_or_else(|payload| Err(FlowError::Panicked(crate::panic_message(payload))))
 }
 
-/// Runs every circuit through a fresh [`Flow`] under a shared
-/// configuration, in parallel, preserving input order. A circuit whose
-/// flow panics — every ladder rung dead, or an unwind escaping the flow
-/// itself — or dies of BDD capacity is retried **once** under the safe
-/// configuration (from-scratch Reduce, per-block Factor: the paths with
-/// the least machinery; and the oracle's order ladder re-enabled, since
-/// a capacity kill can only have come from `DvoMode::Off`) before its
-/// slot reports the failure. The naive-kernel switch cannot join the
-/// safe config: it is a process-wide `OnceLock` read from
-/// `PD_NAIVE_KERNEL` at first use. Siblings are unaffected either way.
-pub fn run_batch(inputs: Vec<FlowInput>, cfg: &FlowConfig) -> Vec<BatchOutcome> {
-    pd_par::par_map_vec(inputs, |input| {
-        let name = input.name.clone();
-        match attempt(input.clone(), cfg.clone()) {
-            Err(first)
-                if matches!(
-                    first,
-                    FlowError::Panicked(_) | FlowError::Capacity { .. }
-                ) =>
-            {
-                let mut safe = cfg.clone();
-                safe.full_reduce = true;
-                safe.local_factor = true;
-                safe.dvo = pd_bdd::DvoMode::OnCapacity;
-                // The fault plan re-arms for the retry (Flow::new reads
-                // cfg.fault), so an injected panic stays deterministic
-                // across both attempts.
-                let first_msg = first.to_string();
-                let result = attempt(input, safe).map_err(|e| match e {
-                    FlowError::Panicked(second) => FlowError::Panicked(format!(
-                        "{first_msg}; safe-config retry also panicked: {second}"
-                    )),
-                    other => other,
-                });
-                BatchOutcome {
-                    name,
-                    result,
-                    retried: true,
-                }
-            }
-            result => BatchOutcome {
+/// Runs one circuit end to end, with the batch driver's fencing and
+/// retry policy: a flow that panics — every ladder rung dead, or an
+/// unwind escaping the flow itself — or dies of BDD capacity is retried
+/// **once** under the safe configuration (from-scratch Reduce, per-block
+/// Factor: the paths with the least machinery; and the oracle's order
+/// ladder re-enabled, since a capacity kill can only have come from
+/// `DvoMode::Off`) before the outcome reports the failure. The
+/// naive-kernel switch cannot join the safe config: it is a process-wide
+/// `OnceLock` read from `PD_NAIVE_KERNEL` at first use.
+///
+/// This is the unit both drivers share: [`run_batch`] fans it out over
+/// the `pd-par` pool, the job server ([`crate::serve`]) routes it
+/// through its sharded worker pool.
+pub fn run_one(input: FlowInput, cfg: &FlowConfig) -> BatchOutcome {
+    let name = input.name.clone();
+    match attempt(input.clone(), cfg.clone()) {
+        Err(first)
+            if matches!(
+                first,
+                FlowError::Panicked(_) | FlowError::Capacity { .. }
+            ) =>
+        {
+            let mut safe = cfg.clone();
+            safe.full_reduce = true;
+            safe.local_factor = true;
+            safe.dvo = pd_bdd::DvoMode::OnCapacity;
+            // The fault plan re-arms for the retry (Flow::new reads
+            // cfg.fault), so an injected panic stays deterministic
+            // across both attempts.
+            let first_msg = first.to_string();
+            let result = attempt(input, safe).map_err(|e| match e {
+                FlowError::Panicked(second) => FlowError::Panicked(format!(
+                    "{first_msg}; safe-config retry also panicked: {second}"
+                )),
+                other => other,
+            });
+            BatchOutcome {
                 name,
                 result,
-                retried: false,
-            },
+                retried: true,
+            }
         }
-    })
+        result => BatchOutcome {
+            name,
+            result,
+            retried: false,
+        },
+    }
+}
+
+/// Runs every circuit through a fresh [`Flow`] under a shared
+/// configuration, in parallel, preserving input order. Each circuit gets
+/// [`run_one`]'s fencing and safe-config retry; siblings are unaffected
+/// either way.
+pub fn run_batch(inputs: Vec<FlowInput>, cfg: &FlowConfig) -> Vec<BatchOutcome> {
+    pd_par::par_map_vec(inputs, |input| run_one(input, cfg))
 }
 
 /// Serialises a whole batch as the `pd flow` stats document.

@@ -74,23 +74,32 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod json;
+pub mod serve;
 pub mod spec;
 
+use cache::{CachedStage, StageCache};
 use json::Json;
 use pd_anf::{Anf, Var, VarPool};
 use pd_bdd::{CapacityError, DvoMode, ExactMismatch, VerifyContext};
 use pd_cells::{map, report_mapped, unmap, AreaDelayReport, CellLibrary, MappedNetlist};
-use pd_core::{refine, Decomposition, PdConfig, ProgressiveDecomposer};
-use pd_factor::{ExtractConfig, FactorNetwork, GlobalConfig, GlobalNetwork};
+use pd_core::{refine_with_library, Decomposition, PdConfig, ProgressiveDecomposer};
+use pd_factor::{DivisorLibrary, ExtractConfig, FactorNetwork, GlobalConfig, GlobalNetwork};
 use pd_netlist::{synthesize_outputs, Netlist, NodeId};
 use pd_par::EffortMeter;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
 
-pub use batch::{batch_to_json, run_batch, BatchOutcome};
+pub use batch::{batch_to_json, run_batch, run_one, BatchOutcome};
+pub use serve::Server;
 pub use spec::{builtin_circuits, circuit_by_name, FlowSpec};
+
+/// Most divisor-library seeds offered to one global-factoring run.
+const LIBRARY_SEED_CAP: usize = 128;
 
 /// One circuit entering the pipeline.
 #[derive(Clone, Debug)]
@@ -416,10 +425,26 @@ pub struct FlowConfig {
     /// proactively after every check ([`DvoMode::Sift`]). Defaults to
     /// the `PD_DVO` environment variable, or on-capacity.
     pub dvo: DvoMode,
+    /// Root of the content-addressed stage cache (see [`cache`]). `None`
+    /// disables caching. Defaults to the `PD_CACHE_DIR` environment
+    /// variable, or off. A flow with an armed [`FaultPlan`] never touches
+    /// the cache regardless of this setting.
+    pub cache_dir: Option<PathBuf>,
+    /// Cross-run divisor library seeding the `Reduce` worklist ranking
+    /// and the `Factor` stage's divisor search (see
+    /// [`pd_factor::library`]). Defaults to the snapshot under
+    /// `cache_dir` when set (loaded once per [`FlowConfig::default`], so
+    /// every flow sharing a config sees identical seeds at any
+    /// `PD_THREADS`), or `None`. Seeding is advisory — seeds join the
+    /// candidate pool under the same acceptance guards as discovered
+    /// divisors, so a stale library can slow a run but never change
+    /// whether the result verifies.
+    pub divisor_library: Option<Arc<DivisorLibrary>>,
 }
 
 impl Default for FlowConfig {
     fn default() -> Self {
+        let cache_dir = std::env::var_os("PD_CACHE_DIR").map(PathBuf::from);
         FlowConfig {
             pd: PdConfig::default(),
             extract: ExtractConfig::default(),
@@ -438,6 +463,10 @@ impl Default for FlowConfig {
             fault: FaultPlan::from_env().unwrap_or_else(|e| panic!("PD_FAULT: {e}")),
             node_cap: env_node_cap(),
             dvo: env_dvo(),
+            cache_dir: cache_dir.clone(),
+            divisor_library: cache_dir
+                .as_deref()
+                .map(|dir| Arc::new(pd_factor::library::load_library(dir))),
         }
     }
 }
@@ -515,6 +544,24 @@ pub struct StageReport {
     /// Deterministic effort spent by the stage's meter (metered stages
     /// only: `Decompose`, `Reduce`, global `Factor`).
     pub effort_spent: Option<u64>,
+    /// Stage-cache disposition: `"hit"` (served from the
+    /// content-addressed store, including its original verify verdict),
+    /// `"miss"` (cache enabled, stage computed live and stored), or
+    /// `None` (caching off or fenced off by an armed fault).
+    pub cache: Option<String>,
+    /// Process-wide arbitration-cache hits observed by this stage's
+    /// refinement (incremental `Reduce` only).
+    pub arbitration_cache_hits: Option<u64>,
+    /// Process-wide arbitration-cache misses observed by this stage's
+    /// refinement (incremental `Reduce` only).
+    pub arbitration_cache_misses: Option<u64>,
+    /// Divisor-library seeds offered to the global `Factor` search.
+    pub library_seeds: Option<usize>,
+    /// Offered seeds the search actually committed (global `Factor`).
+    pub library_hits: Option<usize>,
+    /// Leaders whose ranking consulted the divisor library (incremental
+    /// `Reduce` only).
+    pub library_leaders: Option<usize>,
 }
 
 impl StageReport {
@@ -542,6 +589,12 @@ impl StageReport {
             degraded: None,
             degradation_reason: None,
             effort_spent: None,
+            cache: None,
+            arbitration_cache_hits: None,
+            arbitration_cache_misses: None,
+            library_seeds: None,
+            library_hits: None,
+            library_leaders: None,
         }
     }
 
@@ -623,6 +676,27 @@ impl StageReport {
             // u64::MAX-adjacent spends do not occur in practice; the f64
             // round-trip is exact for every realistic trial count.
             fields.push(("effort_spent", Json::Num(v as f64)));
+        }
+        if let Some(v) = &self.cache {
+            fields.push(("cache", Json::from(v.as_str())));
+            if v == "hit" && self.verified == Some(true) {
+                fields.push(("verified_from_cache", Json::from(true)));
+            }
+        }
+        if let Some(v) = self.arbitration_cache_hits {
+            fields.push(("arbitration_cache_hits", Json::Num(v as f64)));
+        }
+        if let Some(v) = self.arbitration_cache_misses {
+            fields.push(("arbitration_cache_misses", Json::Num(v as f64)));
+        }
+        if let Some(v) = self.library_seeds {
+            fields.push(("library_seeds", Json::from(v)));
+        }
+        if let Some(v) = self.library_hits {
+            fields.push(("library_hits", Json::from(v)));
+        }
+        if let Some(v) = self.library_leaders {
+            fields.push(("library_leaders", Json::from(v)));
         }
         Json::obj(fields)
     }
@@ -762,12 +836,27 @@ pub struct Flow {
     /// final rung degrades to `unverified` instead of failing the rung,
     /// because there is nothing cheaper left to fall through to.
     on_final_rung: bool,
+    /// Content-addressed stage cache, when [`FlowConfig::cache_dir`] is
+    /// set and no fault is armed (a faulted flow must actually exercise
+    /// the machinery the fault targets).
+    cache: Option<StageCache>,
+    /// True while every stage so far was served from the cache. The
+    /// first live stage clears it: stages downstream of live state may
+    /// not consume cached artifacts keyed to the pristine chain (they
+    /// would be correct — the chain fingerprints inputs — but mixing
+    /// makes `wall_ms` attribution lie; a full prefix is the useful
+    /// resume unit).
+    cache_intact: bool,
 }
 
 impl Flow {
     /// Prepares a flow; nothing runs until [`Flow::run_next`].
     pub fn new(input: FlowInput, cfg: FlowConfig) -> Self {
         let fault_remaining = cfg.fault.map_or(0, |f| f.fires);
+        let cache = match (&cfg.cache_dir, cfg.fault) {
+            (Some(dir), None) => StageCache::open(dir, &input.pool, &input.outputs, &cfg),
+            _ => None,
+        };
         Flow {
             cfg,
             name: input.name,
@@ -784,6 +873,8 @@ impl Flow {
             fault_remaining,
             fault_fired: false,
             on_final_rung: false,
+            cache,
+            cache_intact: true,
         }
     }
 
@@ -853,16 +944,106 @@ impl Flow {
     pub fn run_next(&mut self) -> Result<&StageReport, FlowError> {
         let stage = self.next_stage().ok_or(FlowError::Exhausted)?;
         self.fault_fired = false;
-        let report = match stage {
+        if let Some(report) = self.serve_cached(stage) {
+            self.next += 1;
+            self.reports.push(report);
+            return Ok(self.reports.last().expect("just pushed"));
+        }
+        let mut report = match stage {
             StageKind::Decompose => self.stage_decompose()?,
             StageKind::Reduce => self.stage_reduce()?,
             StageKind::Factor => self.stage_factor()?,
             StageKind::TechMap => self.stage_techmap()?,
             StageKind::Sta => self.stage_sta()?,
         };
+        if self.cache.is_some() {
+            report.cache = Some("miss".to_owned());
+            self.store_cached(stage, &report);
+        }
         self.next += 1;
         self.reports.push(report);
         Ok(self.reports.last().expect("just pushed"))
+    }
+
+    /// Attempts to serve the next stage from the content-addressed cache
+    /// (only while the whole prefix so far was cached — see
+    /// [`Flow::cache_intact`]). On a hit, applies the cached flow state
+    /// and returns the stage's original report re-marked `cache: "hit"`;
+    /// on a miss, clears `cache_intact` so the rest of the run computes
+    /// live.
+    fn serve_cached(&mut self, stage: StageKind) -> Option<StageReport> {
+        if !self.cache_intact {
+            return None;
+        }
+        let entry = match self.cache.as_ref().and_then(|c| c.load(self.next)) {
+            Some(e) if e.report.is_some() => e,
+            _ => {
+                self.cache_intact = false;
+                return None;
+            }
+        };
+        let mut report = entry.report.expect("checked above");
+        // A cached stage replays its committed state in dependency
+        // order: pool first (expressions index into it), hierarchy next
+        // (its netlist snapshot is recomputed), then any explicit
+        // netlist/mapped/timing artifacts.
+        if let Some(pool) = entry.pool {
+            self.pool = pool;
+        }
+        if let Some(d) = entry.decomposition {
+            self.netlist = Some(d.to_netlist());
+            self.decomposition = Some(d);
+        }
+        if let Some(nl) = entry.netlist {
+            self.netlist = Some(nl);
+        }
+        if let Some(m) = entry.mapped {
+            self.mapped = Some(m);
+        }
+        if let Some(s) = entry.sta {
+            self.sta = Some(s);
+        }
+        report.cache = Some("hit".to_owned());
+        if let Some(note) = self.inert_fault_note(stage) {
+            report.note_degradation(note);
+        }
+        Some(report)
+    }
+
+    /// Stores a just-computed stage's report and committed state. A
+    /// stage that finished explicitly unverified is never cached — the
+    /// store may only ever serve results that were green (or knowingly
+    /// unchecked under `verify = false`, a distinct key) when computed.
+    fn store_cached(&mut self, stage: StageKind, report: &StageReport) {
+        let cache = match &self.cache {
+            Some(c) => c,
+            None => return,
+        };
+        if report.verified == Some(false) {
+            return;
+        }
+        let mut entry = CachedStage {
+            report: Some(report.clone()),
+            ..CachedStage::default()
+        };
+        match stage {
+            StageKind::Decompose | StageKind::Reduce => {
+                entry.pool = Some(self.pool.clone());
+                entry.decomposition = self.decomposition.clone();
+            }
+            StageKind::Factor => {
+                entry.pool = Some(self.pool.clone());
+                entry.netlist = self.netlist.clone();
+            }
+            StageKind::TechMap => {
+                entry.mapped = self.mapped.clone();
+                entry.netlist = self.netlist.clone();
+            }
+            StageKind::Sta => {
+                entry.sta = self.sta.clone();
+            }
+        }
+        cache.store(self.next, stage, &entry);
     }
 
     /// True when the armed fault targets `stage` with `mode` and still
@@ -1135,7 +1316,8 @@ impl Flow {
             .as_ref()
             .expect("decompose ran")
             .clone();
-        let stats = refine(&mut d, &cfg);
+        let library = self.cfg.divisor_library.clone();
+        let stats = refine_with_library(&mut d, &cfg, library.as_deref());
         let nl = d.to_netlist();
         report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
         report.literals = Some(d.hierarchy_literal_count());
@@ -1146,6 +1328,11 @@ impl Flow {
         report.refine_reuses = Some(stats.leader_reuses);
         report.refine_arbitrated = Some(stats.arbitrated);
         report.effort_spent = Some(stats.effort_spent);
+        report.arbitration_cache_hits = Some(stats.arbitration_cache_hits);
+        report.arbitration_cache_misses = Some(stats.arbitration_cache_misses);
+        if library.is_some() {
+            report.library_leaders = Some(stats.library_leaders);
+        }
         if stats.budget_exhausted {
             report.note_degradation(format!(
                 "effort budget exhausted after {} trials",
@@ -1220,7 +1407,12 @@ impl Flow {
         for (name, e) in &d.outputs {
             net.add_output(name, e);
         }
-        let stats = net.extract(&mut scratch, &cfg);
+        let seeds = self
+            .cfg
+            .divisor_library
+            .as_ref()
+            .map_or_else(Vec::new, |l| l.seeds_for(&scratch, LIBRARY_SEED_CAP));
+        let stats = net.extract_seeded(&mut scratch, &cfg, &seeds);
         let (nl, extracted) = net.synthesize_choosing();
         report.wall_ms = t.elapsed().as_secs_f64() * 1e3;
         report.literals = Some(if extracted {
@@ -1233,6 +1425,19 @@ impl Flow {
         report.divisor_reuse_count =
             Some(if extracted { stats.divisor_reuse_count } else { 0 });
         report.effort_spent = Some(stats.effort_spent);
+        if self.cfg.divisor_library.is_some() {
+            report.library_seeds = Some(stats.library_seeds);
+            report.library_hits = Some(stats.library_hits);
+        }
+        if self.cfg.cache_dir.is_some() && extracted {
+            // Feed this run's committed divisors to the cross-run
+            // library (usage = reuses beyond the first consumer; flushed
+            // to disk by the driver at end of run).
+            pd_factor::library::record_learned(
+                &scratch,
+                net.divisors().map(|(e, c)| (e, c.saturating_sub(1) as u64)),
+            );
+        }
         if stats.budget_exhausted {
             report.note_degradation(format!(
                 "effort budget exhausted after {} trials",

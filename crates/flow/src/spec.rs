@@ -243,6 +243,13 @@ pub struct FlowSpec {
     pub config: FlowConfig,
     /// Where to write the JSON stats (`out` key), if requested.
     pub out: Option<String>,
+    /// Whether unknown keys are errors (the default) or collected into
+    /// [`FlowSpec::warnings`] (`"strict": false` in the document — for
+    /// specs shared with newer `pd` versions that know more keys).
+    pub strict: bool,
+    /// Unknown keys tolerated under `"strict": false`, for the driver to
+    /// surface. Empty in strict mode (unknown keys error instead).
+    pub warnings: Vec<String>,
 }
 
 impl FlowSpec {
@@ -275,6 +282,13 @@ impl FlowSpec {
             circuits: Vec::new(),
             config: FlowConfig::default(),
             out: None,
+            // Scanned ahead of the main key loop: `"strict": false` must
+            // soften unknown keys that *precede* it in the document.
+            strict: match doc.get("strict") {
+                None => true,
+                Some(v) => v.as_bool().ok_or("key \"strict\" must be a boolean")?,
+            },
+            warnings: Vec::new(),
         };
         // `as usize` would silently clamp negatives/fractions; reject them.
         let unsigned = |v: &Json, key: &str| -> Result<usize, String> {
@@ -383,7 +397,11 @@ impl FlowSpec {
                                 spec.config.extract.min_gain = integer(v2, k2)?;
                             }
                             other => {
-                                return Err(format!("unknown extract key {other:?}"));
+                                if spec.strict {
+                                    return Err(format!("unknown extract key {other:?}"));
+                                }
+                                spec.warnings
+                                    .push(format!("ignoring unknown extract key {other:?}"));
                             }
                         }
                     }
@@ -396,7 +414,14 @@ impl FlowSpec {
                             .to_owned(),
                     );
                 }
-                other => return Err(format!("unknown flow-spec key {other:?}")),
+                "strict" => {} // consumed by the pre-scan above
+                other => {
+                    if spec.strict {
+                        return Err(format!("unknown flow-spec key {other:?}"));
+                    }
+                    spec.warnings
+                        .push(format!("ignoring unknown flow-spec key {other:?}"));
+                }
             }
         }
         if spec.circuits.is_empty() {
@@ -467,6 +492,38 @@ mod tests {
         assert!(FlowSpec::parse(r#"{"circuits": ["maj7"], "bogus": 1}"#).is_err());
         assert!(FlowSpec::parse(r#"{"circuits": []}"#).is_err());
         assert!(FlowSpec::parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn non_strict_spec_downgrades_unknown_keys_to_warnings() {
+        // `strict` softens unknown keys everywhere in the document, even
+        // ones that precede it, and even inside the `extract` object.
+        let spec = FlowSpec::parse(
+            r#"{
+                "bogus": 1,
+                "circuits": ["maj7"],
+                "extract": { "warp_drive": true },
+                "strict": false
+            }"#,
+        )
+        .unwrap();
+        assert!(!spec.strict);
+        assert_eq!(spec.warnings.len(), 2, "{:?}", spec.warnings);
+        assert!(spec.warnings[0].contains("\"bogus\""));
+        assert!(spec.warnings[1].contains("\"warp_drive\""));
+        assert_eq!(spec.circuits, vec!["maj7"]);
+
+        // Known keys still type-check, and structural errors still error.
+        assert!(FlowSpec::parse(
+            r#"{"circuits": ["maj7"], "strict": false, "verify": "yes"}"#
+        )
+        .is_err());
+        assert!(FlowSpec::parse(r#"{"circuits": [], "strict": false}"#).is_err());
+        assert!(FlowSpec::parse(r#"{"circuits": ["maj7"], "strict": 1}"#).is_err());
+
+        // Explicit strict: true behaves like the default.
+        let strict = FlowSpec::parse(r#"{"circuits": ["maj7"], "strict": true}"#).unwrap();
+        assert!(strict.strict && strict.warnings.is_empty());
     }
 
     #[test]

@@ -12,6 +12,19 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a raw index, as reported by [`NodeId::index`].
+    ///
+    /// Only meaningful against the netlist the index came from; used by
+    /// snapshot rehydration ([`crate::Netlist::from_parts`]) and mapped-
+    /// netlist deserialisation, which replay ids positionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("netlist node index fits in u32"))
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -118,6 +118,52 @@ impl Netlist {
         }
     }
 
+    /// Rebuilds a netlist verbatim from its node table and outputs, as
+    /// walked by [`Netlist::iter`]/[`Netlist::outputs`]. Unlike building
+    /// through the gate constructors, no hash-consing or folding is
+    /// re-applied — node ids are preserved positionally — so a snapshot
+    /// written by the flow's stage cache rehydrates bit-identically even
+    /// though its gates were originally produced through folds that a
+    /// replay could simplify away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate references a fan-in at or above its own index
+    /// (the table is not topologically ordered) or an output names a
+    /// node outside the table.
+    pub fn from_parts(nodes: Vec<Gate>, outputs: Vec<(String, NodeId)>) -> Self {
+        let mut dedup = HashMap::new();
+        let mut input_nodes = HashMap::new();
+        for (i, &gate) in nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for fanin in gate.fanins() {
+                assert!(
+                    fanin.index() < i,
+                    "netlist snapshot not topological: node {i} references {fanin}"
+                );
+            }
+            // First occurrence wins, matching what `push` built: later
+            // structural duplicates (possible if the source was edited
+            // in place) stay in the table but out of the index.
+            dedup.entry(gate).or_insert(id);
+            if let Gate::Input(v) = gate {
+                input_nodes.entry(v).or_insert(id);
+            }
+        }
+        for (name, node) in &outputs {
+            assert!(
+                node.index() < nodes.len(),
+                "netlist snapshot output {name:?} references missing node {node}"
+            );
+        }
+        Self {
+            nodes,
+            dedup,
+            input_nodes,
+            outputs,
+        }
+    }
+
     fn push(&mut self, gate: Gate) -> NodeId {
         if let Some(&id) = self.dedup.get(&gate) {
             return id;

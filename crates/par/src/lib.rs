@@ -37,8 +37,9 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
     /// Set inside worker threads: nested parallel calls run serially
@@ -324,6 +325,154 @@ impl EffortMeter {
     }
 }
 
+/// A queued unit of work for a [`WorkerPool`] worker.
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// One worker's mailbox: a FIFO queue and its wake-up signal.
+struct Shard {
+    queue: Mutex<VecDeque<PoolTask>>,
+    ready: Condvar,
+}
+
+/// A sharded worker pool: N long-lived workers, each draining its own
+/// FIFO queue. This is the scheduler core of `pd serve` — the batch
+/// driver's fan-out re-shaped for a long-running process where jobs
+/// arrive over time instead of as one vector.
+///
+/// Properties the flow layer relies on:
+///
+/// * **Sharding.** [`WorkerPool::submit`] routes by `shard_key % N`, so
+///   tasks sharing a key (one job's circuits) run FIFO on one worker,
+///   while different keys proceed independently — per-job isolation
+///   falls out of the topology.
+/// * **Panic fencing.** Every task runs under [`std::panic::catch_unwind`];
+///   a panicking task is dropped and its worker keeps serving. (The
+///   flow layer additionally fences and retries each circuit itself,
+///   exactly as the batch driver does.)
+/// * **Nested-parallelism guard.** Tasks execute with the same
+///   in-worker flag as [`par_map`] workers, so a flow running inside
+///   the pool degrades its internal parallelism to serial loops instead
+///   of oversubscribing the machine.
+///
+/// Dropping the pool shuts it down: queued tasks still drain (shutdown
+/// is checked only when a queue is empty), then workers exit and are
+/// joined.
+///
+/// # Examples
+///
+/// ```
+/// use pd_par::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// let pool = WorkerPool::new(4);
+/// let done = Arc::new(AtomicUsize::new(0));
+/// for job in 0..16u64 {
+///     let done = Arc::clone(&done);
+///     pool.submit(job, Box::new(move || {
+///         done.fetch_add(1, Ordering::SeqCst);
+///     }));
+/// }
+/// drop(pool); // drains queues, joins workers
+/// assert_eq!(done.load(Ordering::SeqCst), 16);
+/// ```
+pub struct WorkerPool {
+    shards: Arc<Vec<Shard>>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            (0..workers)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+        );
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handles = (0..workers)
+            .map(|w| {
+                let shards = Arc::clone(&shards);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::Builder::new()
+                    .name(format!("pd-pool-{w}"))
+                    .spawn(move || worker_loop(&shards[w], &shutdown))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shards,
+            shutdown,
+            handles,
+        }
+    }
+
+    /// Number of workers (= shards).
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueues `task` on the shard `shard_key % workers` and wakes that
+    /// worker. Tasks with equal keys execute FIFO on one worker.
+    pub fn submit(&self, shard_key: u64, task: PoolTask) {
+        let shard = &self.shards[(shard_key % self.shards.len() as u64) as usize];
+        shard
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+        shard.ready.notify_one();
+    }
+
+    /// Total tasks queued but not yet started.
+    pub fn pending(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.queue.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for shard in self.shards.iter() {
+            shard.ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shard: &Shard, shutdown: &AtomicBool) {
+    let mut queue = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if let Some(task) = queue.pop_front() {
+            drop(queue);
+            as_worker(|| {
+                // A panicking task must not take its worker (and every
+                // queued sibling) down with it. The task is boxed state
+                // that is simply dropped on unwind, so the assertion is
+                // sound.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            });
+            queue = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+        } else if shutdown.load(Ordering::SeqCst) {
+            return;
+        } else {
+            queue = shard
+                .ready
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +586,64 @@ mod tests {
         assert_eq!(got.len(), 100);
         assert_eq!(got[7], 1);
         assert_eq!(got[42], 2);
+    }
+
+    #[test]
+    fn worker_pool_shards_by_key_and_drains_on_drop() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let done = Arc::new(AtomicUsize::new(0));
+        // Same-key tasks must run FIFO on one worker: record the order.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..32usize {
+            let done = Arc::clone(&done);
+            let order = Arc::clone(&order);
+            pool.submit(7, Box::new(move || {
+                order.lock().unwrap().push(i);
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+        let order = order.lock().unwrap();
+        assert_eq!(*order, (0..32).collect::<Vec<_>>(), "same shard is FIFO");
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_tasks() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..20u64 {
+            let done = Arc::clone(&done);
+            pool.submit(i, Box::new(move || {
+                if i % 4 == 0 {
+                    panic!("injected task panic");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 15, "non-panicking tasks all ran");
+    }
+
+    #[test]
+    fn worker_pool_tasks_run_under_the_nested_guard() {
+        let pool = WorkerPool::new(1);
+        let ids = Arc::new(Mutex::new(Vec::new()));
+        let ids2 = Arc::clone(&ids);
+        pool.submit(0, Box::new(move || {
+            // Inside a pool worker, par_map must degrade to the serial
+            // loop: every element is mapped on this very thread.
+            let items: Vec<usize> = (0..8).collect();
+            let threads = par_map(&items, |_| std::thread::current().id());
+            ids2.lock().unwrap().extend(threads);
+        }));
+        drop(pool);
+        let ids = ids.lock().unwrap();
+        assert_eq!(ids.len(), 8);
+        assert!(ids.iter().all(|&t| t == ids[0]), "no nested threads spawned");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! USAGE:
 //!   pd [OPTIONS] <SPEC-FILE | - >
 //!   pd flow [FLOW-OPTIONS] <FLOW-SPEC.json | - | NAMES>
+//!   pd serve [--addr HOST:PORT] [--workers N]
 //!
 //! OPTIONS:
 //!   -k <N>          group size (default 4)
@@ -65,6 +66,28 @@
 //! panic, budget, mismatch, capacity) injects a deterministic fault to
 //! exercise each stage's degradation ladder — degradations are reported
 //! under the per-stage table and in the JSON stats.
+//!
+//! CACHING: set `PD_CACHE_DIR=<dir>` to enable the content-addressed
+//! stage cache and the cross-run divisor library (see `pd_flow::cache`
+//! and `pd_factor::library`). Re-running an identical spec serves every
+//! stage from the store — already BDD-verified, marked
+//! `"cache": "hit"` / `"verified_from_cache": true` in the stats — and
+//! a changed spec resumes past its unchanged prefix. The divisors each
+//! run commits are folded into `<dir>/divisors.lib` at exit and seed
+//! the next run's searches. A run with `PD_FAULT` armed never touches
+//! the cache.
+//!
+//! SERVE SUBCOMMAND: a JSON-lines-over-TCP job server around the same
+//! pipeline (see `pd_flow::serve` for the protocol):
+//!
+//!   pd serve                         listen on 127.0.0.1:7878
+//!   pd serve --addr 127.0.0.1:0      ephemeral port (printed at startup)
+//!   pd serve --workers 8             worker shards (default PD_WORKERS,
+//!                                    else the machine's parallelism)
+//!
+//! Submitted jobs reuse the flow-spec JSON schema verbatim; each job's
+//! circuits run FIFO on one worker shard, so a panicking job degrades
+//! to per-slot errors without disturbing concurrent jobs.
 //! ```
 
 use progressive_decomposition::prelude::*;
@@ -152,10 +175,10 @@ fn read_spec(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let outcome = if args.first().map(String::as_str) == Some("flow") {
-        run_flow(&args[1..])
-    } else {
-        run()
+    let outcome = match args.first().map(String::as_str) {
+        Some("flow") => run_flow(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        _ => run(),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -219,6 +242,9 @@ fn run_flow(args: &[String]) -> Result<(), String> {
             std::fs::read_to_string(&target).map_err(|e| format!("reading {target}: {e}"))?
         };
         let spec = FlowSpec::parse(&text).map_err(|e| e.to_string())?;
+        for w in &spec.warnings {
+            eprintln!("pd flow: warning: {w}");
+        }
         (spec.resolve()?, spec.config, spec.out)
     } else {
         let mut inputs = Vec::new();
@@ -250,9 +276,31 @@ fn run_flow(args: &[String]) -> Result<(), String> {
         if cfg.verify { "on" } else { "off" },
         pd_par::max_threads(),
     );
+    if let Some(dir) = &cfg.cache_dir {
+        println!(
+            "pd flow: stage cache at {} ({} library divisor(s) seeding)",
+            dir.display(),
+            cfg.divisor_library.as_ref().map_or(0, |l| l.len()),
+        );
+    }
     let t0 = std::time::Instant::now();
     let outcomes = run_batch(inputs, &cfg);
     let elapsed = t0.elapsed();
+    if let Some(dir) = &cfg.cache_dir {
+        // Fold this run's committed divisors into the cross-run library.
+        match progressive_decomposition::factor::library::flush_learned(dir) {
+            Ok(n) => println!("pd flow: divisor library now holds {n} entry(ies)"),
+            Err(e) => eprintln!("pd flow: warning: library flush failed: {e}"),
+        }
+        let (hits, stages): (usize, usize) = outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .flat_map(|s| s.stages.iter())
+            .fold((0, 0), |(h, n), s| {
+                (h + usize::from(s.cache.as_deref() == Some("hit")), n + 1)
+            });
+        println!("pd flow: stage cache served {hits}/{stages} stage(s)");
+    }
 
     let fmt_opt_usize = |o: Option<usize>| o.map_or(String::from("-"), |v| v.to_string());
     let mut failures = 0usize;
@@ -326,6 +374,45 @@ fn run_flow(args: &[String]) -> Result<(), String> {
         return Err(format!("{failures} circuit(s) failed the flow"));
     }
     Ok(())
+}
+
+/// The `pd serve` subcommand: bind the TCP job server and run its accept
+/// loop until a `shutdown` request (see `pd_flow::serve`).
+fn run_serve(args: &[String]) -> Result<(), String> {
+    use progressive_decomposition::flow::serve::{env_workers, Server};
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut workers = env_workers();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                workers = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                if workers == 0 {
+                    return Err("worker count must be positive".into());
+                }
+            }
+            "-h" | "--help" => {
+                return Err("usage: pd serve [--addr HOST:PORT] [--workers N]".into())
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let server = Server::bind(addr.as_str(), workers)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "pd serve: listening on {bound} with {} worker shard(s)",
+        server.workers()
+    );
+    if let Some(dir) = std::env::var_os("PD_CACHE_DIR") {
+        println!(
+            "pd serve: stage cache at {}",
+            std::path::Path::new(&dir).display()
+        );
+    }
+    server.run().map_err(|e| e.to_string())
 }
 
 fn run() -> Result<(), String> {

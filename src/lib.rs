@@ -75,6 +75,36 @@
 //! `BENCH_RUNTIME.json` tracks both as `flow/<circuit>/factor-global`
 //! vs `flow/<circuit>/factor-local`, with mapped cell counts.
 //!
+//! ### Caching & serving
+//!
+//! Setting `PD_CACHE_DIR` (or [`flow::FlowConfig::cache_dir`]) turns
+//! the batch pipeline into a **cacheable service**. Every completed
+//! stage — netlist/hierarchy snapshot, [`flow::StageReport`], verify
+//! verdict — is stored in a content-addressed [`cache`] store under a
+//! chained key `H(canonical spec ‖ config fingerprint ‖ crate version)`
+//! derived with [`anf::canon`]'s stable encoding, so re-running an
+//! identical spec serves every stage *already BDD-verified*
+//! (`"cache": "hit"`, `"verified_from_cache": true` in the stats), and
+//! a changed spec resumes computing past its unchanged prefix. Results
+//! that committed explicitly unverified are never stored, and a run
+//! with `PD_FAULT` armed never touches the cache. The same directory
+//! holds the **cross-run divisor library**
+//! ([`factor::library`]): divisors each run commits are usage-counted,
+//! aged (halve-and-prune) across runs, and offered as advisory seeds to
+//! the next run's Reduce ranking and global-Factor search — seeds pass
+//! the same acceptance guards as discovered divisors and the baseline
+//! fallback still applies, so the library can only accelerate, never
+//! regress or perturb determinism (the snapshot is loaded once per
+//! config, identical at any `PD_THREADS`).
+//!
+//! `pd serve` wraps the same pipeline in a std-only TCP/JSON-lines job
+//! server ([`flow::serve`]): jobs reuse the flow-spec JSON schema, and
+//! the scheduler is the batch driver refactored into **sharded worker
+//! pools** (`pd_par::WorkerPool`, width `PD_WORKERS`) — one job's
+//! circuits run FIFO on one shard with the batch driver's panic fencing
+//! and safe-config retry intact, so a poisoned job resolves to per-slot
+//! errors while concurrent jobs stay green.
+//!
 //! ## Budgets, degradation ladders, fault injection
 //!
 //! Flow execution is *budgeted* and *fault-tolerant*. Effort is metered
@@ -202,6 +232,7 @@
 pub use pd_anf as anf;
 pub use pd_arith as arith;
 pub use pd_bdd as bdd;
+pub use pd_cache as cache;
 pub use pd_cells as cells;
 pub use pd_core as core;
 pub use pd_factor as factor;
